@@ -1,0 +1,100 @@
+"""End-to-end: the pattern catalog over a realistic rush-hour day.
+
+Runs every FCEP-expressible catalog pattern on both engines over
+rush-hour traffic (plus air-quality streams for the cross-domain
+pattern), with the FASP side configured by the advisor — the complete
+product story: declarative pattern -> recommended mapping -> shared
+sensors -> alerts, with the NFA baseline as the semantic cross-check.
+"""
+
+from benchmarks.common import record
+from repro.asp.datamodel import merge_events
+from repro.asp.operators.source import ListSource
+from repro.asp.time import minutes
+from repro.cep.matches import dedup
+from repro.cep.nfa import run_nfa
+from repro.cep.pattern_api import from_sea_pattern
+from repro.errors import TranslationError
+from repro.mapping.advisor import recommend_options, statistics_from_streams
+from repro.mapping.translator import translate
+from repro.patterns import CATALOG, catalog_pattern
+from repro.runtime.metrics import format_tps
+from repro.workloads import generate_rush_hour_traffic
+from repro.workloads.airquality import AirQualityConfig, aq_streams
+
+
+def test_catalog_over_rush_hour_day(benchmark):
+    duration = minutes(1440)  # one day
+    streams = {
+        **generate_rush_hour_traffic(4, duration, seed=17),
+        **aq_streams(
+            AirQualityConfig(num_sensors=4, duration_ms=duration, seed=17),
+            types=("PM10", "PM2"),
+        ),
+    }
+    stats = statistics_from_streams(streams)
+
+    def run_all():
+        rows = []
+        for name in sorted(CATALOG):
+            pattern = catalog_pattern(name)
+            options = recommend_options(pattern, stats).options
+            approximate = options.iteration_strategy == "aggregate"
+            sources = {
+                t: ListSource(list(v), name=t, event_type=t)
+                for t, v in streams.items()
+            }
+            query = translate(pattern, sources, options)
+            result = query.execute()
+            fasp_matches = dedup(query.matches())
+            if approximate:
+                # O2 emits one aggregate per window: per-combination
+                # comparison with the NFA is undefined by design.
+                rows.append(
+                    (name, options.label(), result.throughput_tps,
+                     len(fasp_matches), "approximate (O2)", True, options)
+                )
+                continue
+            try:
+                cep = from_sea_pattern(pattern)
+                # Cross-check on the morning-rush slice: the unkeyed NFA
+                # is quartic on the stalled-traffic iteration, so a
+                # full-day baseline run would dominate the whole bench.
+                cutoff = minutes(12 * 60)
+                slice_streams = {
+                    t: [e for e in streams[t] if e.ts < cutoff]
+                    for t in pattern.distinct_event_types()
+                }
+                merged = merge_events(*slice_streams.values())
+                fcep_matches = dedup(run_nfa(cep, merged))
+                slice_sources = {
+                    t: ListSource(v, name=t, event_type=t)
+                    for t, v in slice_streams.items()
+                }
+                slice_query = translate(pattern, slice_sources, options)
+                slice_query.execute()
+                fasp_slice = dedup(slice_query.matches())
+                agrees = {m.dedup_key() for m in fcep_matches} == {
+                    m.dedup_key() for m in fasp_slice
+                }
+                fcep_note = "agrees" if agrees else "DISAGREES"
+            except TranslationError:
+                agrees = True  # nothing to compare
+                fcep_note = "unsupported by FCEP"
+            rows.append(
+                (name, options.label(), result.throughput_tps,
+                 len(fasp_matches), fcep_note, agrees, options)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = ["Pattern catalog over one rush-hour day (4 segments/sensors)"]
+    for name, label, tput, matches, fcep_note, _agrees, _o in rows:
+        lines.append(
+            f"  {name:26s} {label:12s} {format_tps(tput):>14s} "
+            f"{matches:6d} alerts   [FCEP: {fcep_note}]"
+        )
+    record("catalog", "\n".join(lines))
+    assert all(r[5] for r in rows), "engines disagreed on an exact pattern"
+    congestion = next(r for r in rows if r[0] == "traffic-congestion")
+    assert congestion[3] > 0, "a rush-hour day must produce congestion alerts"

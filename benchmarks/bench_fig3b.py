@@ -1,0 +1,40 @@
+"""Figure 3b — impact of output selectivity on SEQ1.
+
+Paper expectation: FCEP's throughput collapses as sigma_o rises (below
+500 tpl/s at 30 % on their testbed — up to 150x slower than FASP); FASP
+stays flat up to ~1 % and drops moderately at 30 %, where the interval
+join (O1) wins by avoiding duplicate window computations.
+"""
+
+from benchmarks.common import record_rows, assert_fasp_not_dominated, bench_scale, record
+from repro.experiments import render_bars, fig3b_selectivity, render_figure, render_speedups
+
+SELECTIVITIES = (0.003, 0.1, 3.0, 30.0)
+
+
+def test_fig3b_selectivity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig3b_selectivity(bench_scale(sensors=8), SELECTIVITIES),
+        rounds=1, iterations=1,
+    )
+    report = render_figure(rows, "Figure 3b: output selectivity sweep (SEQ1)")
+    report += "\n\n" + render_speedups(rows)
+    report += "\n\n" + render_bars(rows, "throughput bars")
+    record("fig3b", report)
+    record_rows("fig3b", rows)
+    assert_fasp_not_dominated(rows)
+
+    def tput(approach, pct):
+        return next(
+            r.throughput_tps for r in rows
+            if r.approach == approach and r.parameter == f"selectivity={pct:g}%"
+        )
+
+    # FCEP degrades monotonically in selectivity (allowing small noise).
+    assert tput("FCEP", 30.0) < tput("FCEP", 0.003) * 0.75
+    # FASP holds (within noise) up to 3 % — the paper's plateau.
+    assert tput("FASP", 3.0) > tput("FASP", 0.003) * 0.5
+    # The FASP advantage widens with selectivity.
+    low_gap = tput("FASP", 0.003) / tput("FCEP", 0.003)
+    high_gap = max(tput("FASP", 30.0), tput("FASP-O1", 30.0)) / tput("FCEP", 30.0)
+    assert high_gap > low_gap * 0.8

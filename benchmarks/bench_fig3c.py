@@ -1,0 +1,39 @@
+"""Figure 3c — impact of the window size on SEQ1.
+
+Paper expectation: FCEP drops by ~76 % from W=30 to W=360 (longer
+partial-match lifetimes); FASP and FASP-O1 stay constant.
+"""
+
+from benchmarks.common import record_rows, assert_fasp_not_dominated, bench_scale, record
+from repro.experiments import render_bars, fig3c_window_size, render_figure, render_speedups
+
+WINDOWS = (30, 90, 360)
+
+
+def test_fig3c_window_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig3c_window_size(bench_scale(sensors=4), WINDOWS),
+        rounds=1, iterations=1,
+    )
+    report = render_figure(rows, "Figure 3c: window size sweep (SEQ1)")
+    report += "\n\n" + render_speedups(rows)
+    report += "\n\n" + render_bars(rows, "throughput bars")
+    record("fig3c", report)
+    record_rows("fig3c", rows)
+    assert_fasp_not_dominated(rows)
+
+    def tput(approach, w):
+        return next(
+            r.throughput_tps for r in rows
+            if r.approach == approach and r.parameter == f"W={w}"
+        )
+
+    # FASP stays constant across window sizes (within noise)...
+    fasp_ratio = tput("FASP", WINDOWS[-1]) / tput("FASP", WINDOWS[0])
+    assert fasp_ratio > 0.7
+    # ...and beats FCEP at every window size (the robust form of the
+    # paper's widening-gap observation; the exact ratio comparison is
+    # noise-dominated at reproduction scale).
+    for w in WINDOWS:
+        best = max(tput("FASP", w), tput("FASP-O1", w))
+        assert best > tput("FCEP", w)

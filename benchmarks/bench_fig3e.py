@@ -1,0 +1,28 @@
+"""Figure 3e — iteration length with inter-event constraint (ITER^m_2).
+
+Paper expectation: FCEP degrades with m (constraint checks against the
+ancestor of every partial match); the mapping stays ahead and FASP-O2
+(aggregation, via the sorted-window UDF variant) is the fastest.
+"""
+
+from benchmarks.common import record_rows, assert_fasp_not_dominated, bench_scale, record
+from repro.experiments import render_bars, fig3e_iteration_consecutive, render_figure, render_speedups
+
+LENGTHS = (3, 6, 9)
+
+
+def test_fig3e_iteration_consecutive(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig3e_iteration_consecutive(bench_scale(sensors=4), LENGTHS),
+        rounds=1, iterations=1,
+    )
+    report = render_figure(rows, "Figure 3e: iteration length ITER^m_2 (inter-event constraint)")
+    report += "\n\n" + render_speedups(rows)
+    report += "\n\n" + render_bars(rows, "throughput bars")
+    record("fig3e", report)
+    record_rows("fig3e", rows)
+    assert_fasp_not_dominated(rows)
+    for m in LENGTHS:
+        cell = [r for r in rows if r.parameter == f"m={m}"]
+        best = max(cell, key=lambda r: r.throughput_tps)
+        assert best.approach.startswith("FASP")

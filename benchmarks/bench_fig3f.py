@@ -1,0 +1,32 @@
+"""Figure 3f — iteration length with threshold filter (ITER^m_3).
+
+Paper expectation: FCEP degrades with m (less steeply than ITER_2); all
+FASP variants hold roughly constant, O2 on top (up to 15x vs FCEP).
+"""
+
+from benchmarks.common import record_rows, assert_fasp_not_dominated, bench_scale, record
+from repro.experiments import render_bars, fig3f_iteration_threshold, render_figure, render_speedups
+
+LENGTHS = (3, 6, 9)
+
+
+def test_fig3f_iteration_threshold(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig3f_iteration_threshold(bench_scale(sensors=4), LENGTHS),
+        rounds=1, iterations=1,
+    )
+    report = render_figure(rows, "Figure 3f: iteration length ITER^m_3 (threshold filter)")
+    report += "\n\n" + render_speedups(rows)
+    report += "\n\n" + render_bars(rows, "throughput bars")
+    record("fig3f", report)
+    record_rows("fig3f", rows)
+    assert_fasp_not_dominated(rows)
+
+    def tput(approach, m):
+        return next(
+            r.throughput_tps for r in rows
+            if r.approach == approach and r.parameter == f"m={m}"
+        )
+
+    assert tput("FCEP", 9) < tput("FCEP", 3)        # FCEP degrades with m
+    assert tput("FASP-O2", 9) > tput("FCEP", 9)      # O2 stays on top

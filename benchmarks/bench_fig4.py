@@ -1,0 +1,71 @@
+"""Figure 4 — impact of data characteristics (number of keys) with O3.
+
+Paper expectation: with key partitioning enabled both approaches gain,
+but the mapped queries outperform FCEP by ~60 % on average; the window
+flavours split (interval joins win where each join reduces the output
+frequency, e.g. ITER4); O2+O3 dominates iterations; and FCEP fails by
+memory exhaustion under high ingestion while FASP completes (probe).
+"""
+
+from benchmarks.common import record_rows, bench_scale, record
+from repro.experiments import render_bars, fig4_keys, fig4_memory_failure, render_figure, render_speedups
+
+KEYS = (16, 32, 128)
+
+
+def test_fig4_data_characteristics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_keys(bench_scale(), key_counts=KEYS), rounds=1, iterations=1
+    )
+    report = render_figure(rows, "Figure 4: varying data characteristics (keys)")
+    report += "\n\n" + render_speedups(rows)
+    report += "\n\n" + render_bars(rows, "throughput bars")
+    record("fig4", report)
+    record_rows("fig4", rows)
+    # All approaches agree on matches per cell (exact variants).
+    exact = [r for r in rows if r.approach != "FASP-O2+O3"]
+    cells = {}
+    for r in exact:
+        cells.setdefault((r.pattern, r.parameter), set()).add(r.matches)
+    for cell, counts in cells.items():
+        assert len(counts) == 1, f"{cell}: {counts}"
+    def tput(pattern, approach, keys):
+        return next(
+            r.throughput_tps for r in rows
+            if r.pattern == pattern and r.approach == approach
+            and r.parameter == f"keys={keys}"
+        )
+
+    # The best mapped variant beats (or at least matches) FCEP per cell.
+    from benchmarks.common import assert_fasp_not_dominated
+
+    assert_fasp_not_dominated(rows, tolerance=0.75)
+    # FASP leverages additional keys (allowing makespan noise).
+    assert tput("SEQ7", "FASP-O1+O3", 128) > tput("SEQ7", "FASP-O1+O3", 16) * 0.7
+    # Interval joins beat sliding windows for ITER4 -- the paper's
+    # Section 5.2.3 discussion of the slide-size overhead. Small cluster
+    # cells carry per-slot timing noise, so require the ordering in the
+    # majority of cells rather than every one.
+    wins = sum(
+        tput("ITER4", "FASP-O1+O3", keys) > tput("ITER4", "FASP-O3", keys)
+        for keys in KEYS
+    )
+    assert wins >= 2, f"interval join won only {wins}/{len(KEYS)} ITER4 cells"
+    # O2+O3 is the best mapping for the iteration.
+    assert tput("ITER4", "FASP-O2+O3", 128) >= tput("ITER4", "FASP-O1+O3", 128) * 0.8
+
+
+def test_fig4_memory_exhaustion_probe(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_memory_failure(bench_scale()), rounds=1, iterations=1
+    )
+    lines = ["Figure 4 (memory probe): bounded budget, ITER3 workload"]
+    for r in rows:
+        status = "FAILED (memory exhausted)" if r.failed else "completed"
+        lines.append(
+            f"  {r.approach:10s} {status:26s} peak state = {r.peak_state_bytes} B"
+        )
+    record("fig4_memory", "\n".join(lines))
+    fcep = next(r for r in rows if r.approach == "FCEP")
+    fasp = next(r for r in rows if r.approach != "FCEP")
+    assert fcep.failed and not fasp.failed

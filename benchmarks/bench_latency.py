@@ -1,0 +1,34 @@
+"""Detection latency (paper Section 5.2.2 latency observations).
+
+Paper expectation: FASP-O1 has the lowest detection latency (75-85 ms)
+because interval joins emit eagerly; plain FASP pays the explicit
+sliding-window buffering (~240 ms, bounded by the slide); FCEP's latency
+additionally grows with load. Here the event-time detection lag isolates
+the windowing component: O1 and the NFA detect at lag ~0, sliding
+windows buffer until the watermark passes (see EXPERIMENTS.md for the
+deviation notes).
+"""
+
+from benchmarks.common import bench_scale, record
+from repro.experiments import latency_sweep, render_latency
+
+
+def test_detection_latency(benchmark):
+    rows = benchmark.pedantic(
+        lambda: latency_sweep(bench_scale(sensors=4)), rounds=1, iterations=1
+    )
+    record("latency", render_latency(rows))
+    by_key = {(r.approach, r.selectivity_pct): r for r in rows}
+    for sigma in {r.selectivity_pct for r in rows}:
+        o1 = by_key[("FASP-O1", sigma)]
+        fasp = by_key[("FASP", sigma)]
+        # Eager interval joins detect strictly earlier than lazy sliding
+        # windows (the paper's O1-lowest-latency observation).
+        assert o1.mean_lag_ms <= fasp.mean_lag_ms
+        # All approaches agree on the detected matches.
+        assert o1.matches == fasp.matches == by_key[("FCEP", sigma)].matches
+    # The sliding-window lag is bounded by slide + watermark cadence
+    # (paper Section 3.1.4: the slide upper-bounds the latency overhead).
+    for row in rows:
+        if row.approach == "FASP":
+            assert row.max_lag_ms <= 10 * 60_000

@@ -1,0 +1,72 @@
+"""Shared benchmark scaffolding.
+
+Every figure benchmark regenerates its paper table/series, prints it, and
+persists it under ``benchmarks/results/`` so a ``pytest benchmarks/
+--benchmark-only`` run doubles as the reproduction record consumed by
+EXPERIMENTS.md.
+
+Scale is controlled with ``REPRO_BENCH_EVENTS`` (approximate events per
+run; default 20000 keeps a full figure under a minute while preserving
+the paper's shapes — raise it for longer, smoother runs).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.common import ExperimentRow, Scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(sensors: int = 4) -> Scale:
+    events = int(os.environ.get("REPRO_BENCH_EVENTS", "20000"))
+    return Scale(events=events, sensors=sensors, seed=42)
+
+
+def record(name: str, text: str) -> None:
+    """Print the paper-style table and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def assert_fasp_not_dominated(rows: list[ExperimentRow], tolerance: float = 0.8) -> None:
+    """The paper's headline shape: in every cell the best FASP variant
+    reaches at least ``tolerance`` of FCEP's throughput (usually far
+    more). Failed FCEP runs count as FASP wins. The tolerance absorbs
+    per-slot timing noise in small cluster cells."""
+    cells: dict[tuple, list[ExperimentRow]] = {}
+    for row in rows:
+        cells.setdefault((row.pattern, row.parameter), []).append(row)
+    losing = []
+    for cell, cell_rows in sorted(cells.items()):
+        fcep = next((r for r in cell_rows if r.approach == "FCEP"), None)
+        fasp = [r for r in cell_rows if r.approach != "FCEP" and not r.failed]
+        if fcep is None or not fasp:
+            continue
+        best = max(r.throughput_tps for r in fasp)
+        if not (fcep.failed or best >= fcep.throughput_tps * tolerance):
+            losing.append(f"{cell[0]}/{cell[1]}")
+    assert not losing, f"FASP dominated by FCEP in cells: {losing}"
+
+
+def record_rows(name: str, rows: list[ExperimentRow]) -> None:
+    """Persist raw experiment rows as CSV for downstream plotting."""
+    import csv
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with (RESULTS_DIR / f"{name}.csv").open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["experiment", "pattern", "approach", "parameter",
+             "throughput_tps", "matches", "events_in", "wall_seconds",
+             "peak_state_bytes", "failed"]
+        )
+        for row in rows:
+            writer.writerow(
+                [row.experiment, row.pattern, row.approach, row.parameter,
+                 f"{row.throughput_tps:.1f}", row.matches, row.events_in,
+                 f"{row.wall_seconds:.4f}", row.peak_state_bytes, row.failed]
+            )

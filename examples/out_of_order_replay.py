@@ -1,0 +1,63 @@
+"""Out-of-order arrivals: an ASP capability traditional CEP lacks.
+
+Replays a congestion workload with bounded arrival disorder (network
+jitter between sensors and the cloud). The mapped query stays *exact* as
+long as the watermark's allowed lateness covers the disorder — the
+event-time machinery the paper credits modern ASPSs with (Section 6) and
+that order-based CEP engines historically lacked.
+
+Run:  python examples/out_of_order_replay.py
+"""
+
+from repro.asp.operators.source import ListSource
+from repro.asp.time import minutes
+from repro.mapping import TranslationOptions, translate
+from repro.patterns import traffic_congestion
+from repro.sea import evaluate_pattern
+from repro.workloads import (
+    QnVConfig,
+    max_disorder,
+    merged_timeline,
+    qnv_streams,
+    shuffle_bounded,
+)
+
+
+def run_with_lateness(pattern, arrival_events, allowed_lateness_ms):
+    source = ListSource(arrival_events, name="jittered-feed")
+    # One physical feed carries both types; the translator adds per-type
+    # routing filters (the shared-stream pattern).
+    sources = {t: source for t in ("Q", "V")}
+    query = translate(pattern, sources, TranslationOptions.fasp())
+    query.execute(max_out_of_orderness=allowed_lateness_ms)
+    return {m.dedup_key() for m in query.matches()}
+
+
+def main() -> None:
+    pattern = traffic_congestion(per_segment=False)
+    streams = qnv_streams(
+        QnVConfig(num_segments=4, duration_ms=minutes(400), seed=13)
+    )
+    in_order = merged_timeline(streams)
+    truth = {m.dedup_key() for m in evaluate_pattern(pattern, in_order)}
+    print(f"in-order ground truth: {len(truth)} congestion matches")
+
+    jitter = minutes(3)
+    jittered = shuffle_bounded(in_order, jitter, seed=99)
+    print(f"replay with up to {jitter // 60000} minutes of arrival jitter "
+          f"(observed max disorder: {max_disorder(jittered) // 1000}s)")
+
+    exact = run_with_lateness(pattern, jittered, allowed_lateness_ms=jitter)
+    print(f"  allowed lateness = jitter bound : {len(exact)} matches "
+          f"({'EXACT' if exact == truth else 'LOSSY'})")
+
+    naive = run_with_lateness(pattern, jittered, allowed_lateness_ms=0)
+    missing = len(truth - naive)
+    print(f"  allowed lateness = 0            : {len(naive)} matches "
+          f"({missing} lost — windows closed before late events arrived)")
+
+    assert exact == truth
+
+
+if __name__ == "__main__":
+    main()

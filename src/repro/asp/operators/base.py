@@ -1,0 +1,144 @@
+"""Operator protocol of the push-based dataflow engine.
+
+Every physical operator consumes *items* (``Event`` or ``ComplexEvent``)
+on one or more input ports and produces items on its single output. The
+executor drives operators with three calls:
+
+* :meth:`Operator.process` — one item arrived on ``port``;
+* :meth:`Operator.on_watermark` — event time advanced; stateful operators
+  finalize complete windows here;
+* :meth:`Operator.on_close` — the stream ended; flush remaining state.
+
+Operators are *stateless* (filter, map, union, key-by) or *stateful*
+(window joins, aggregations, the CEP operator). Stateful operators
+register :class:`~repro.asp.state.StateHandle` ledgers so the harness can
+sample memory usage (Figure 5) and enforce budgets (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Union
+
+from repro.asp.datamodel import ComplexEvent, Event
+from repro.asp.state import StateHandle, StateRegistry
+from repro.asp.time import Watermark
+
+#: The unit of data flowing along dataflow edges.
+Item = Union[Event, ComplexEvent]
+
+
+def item_ts(item: Item) -> int:
+    """Event time of an item (events and composed matches alike)."""
+    return item.ts
+
+
+def constituents(item: Item) -> tuple[Event, ...]:
+    """The base events an item is composed of.
+
+    A raw :class:`Event` is its own single constituent; a
+    :class:`ComplexEvent` contributes all of its events. Joins use this to
+    flatten nested compositions so that the final match is a flat
+    ``ce(e1, ..., en)`` as the paper's data model requires.
+    """
+    if isinstance(item, Event):
+        return (item,)
+    return item.events
+
+
+def item_size_bytes(item: Item) -> int:
+    return item.approx_size_bytes()
+
+
+class Operator:
+    """Base class for all physical operators.
+
+    Subclasses override :meth:`process` (mandatory) and, when stateful,
+    :meth:`on_watermark` / :meth:`on_close`. ``arity`` declares the number
+    of input ports (1 for unary operators, 2 for joins).
+    """
+
+    arity = 1
+    #: Logical operator category, used for plan rendering and metrics.
+    kind = "operator"
+
+    def __init__(self, name: str | None = None):
+        self.name = name or type(self).__name__
+        self._registry: StateRegistry | None = None
+        # Work counter: number of elementary operations performed. This is
+        # the CPU-usage proxy sampled for Figure 5.
+        self.work_units = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def setup(self, registry: StateRegistry) -> None:
+        """Bind the operator to the job's state registry.
+
+        Called once by the executor before any item flows. Subclasses that
+        keep state should call :meth:`create_state` from here (after
+        delegating to ``super().setup``).
+        """
+        self._registry = registry
+
+    def create_state(self, name: str) -> StateHandle:
+        if self._registry is None:
+            # Allow standalone (unit-test) usage without an executor.
+            self._registry = StateRegistry()
+        return self._registry.create(name, owner=self.name)
+
+    # -- data path -------------------------------------------------------
+
+    def process(self, item: Item, port: int = 0) -> Iterable[Item]:
+        """Handle one input item; return (possibly empty) output items."""
+        raise NotImplementedError
+
+    def on_watermark(self, watermark: Watermark) -> Iterable[Item]:
+        """Event time advanced past ``watermark.value``; emit results of
+        all windows that are now complete. Stateless operators inherit
+        this no-op."""
+        return ()
+
+    def on_close(self) -> Iterable[Item]:
+        """The input streams ended. Default: emit via a terminal watermark."""
+        return self.on_watermark(Watermark.terminal())
+
+    # -- event time -------------------------------------------------------
+
+    def watermark_delay(self) -> int:
+        """How far this operator's outputs may lag the input watermark.
+
+        A sliding window join fired at watermark ``wm`` emits items with
+        event time down to ``wm - W``; the NSEQ next-occurrence UDF holds
+        T1 events for up to ``W``. Downstream operators must therefore
+        observe a watermark reduced by this delay, or they would close
+        windows before delayed items arrive. The executor accumulates
+        delays along graph paths (the analog of Flink's watermark
+        re-assignment after event-time redefinition, paper Section 4.2.2).
+        """
+        return 0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def is_stateful(self) -> bool:
+        return False
+
+    def state_size_bytes(self) -> int:
+        if self._registry is None:
+            return 0
+        return sum(
+            h.bytes_used for h in self._registry.handles() if h.owner == self.name
+        )
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "arity": self.arity}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class StatefulOperator(Operator):
+    """Marker base class for operators that buffer items across calls."""
+
+    @property
+    def is_stateful(self) -> bool:
+        return True

@@ -1,0 +1,53 @@
+"""Selection (sigma) — semantically identical in ASP and CEP (Section 2).
+
+``FilterOperator`` evaluates a predicate per item and forwards the item
+when it holds. Predicates are plain callables ``Item -> bool``; the SEA
+layer compiles its declarative predicate trees down to such callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.asp.operators.base import Item, Operator
+
+
+class FilterOperator(Operator):
+    kind = "filter"
+
+    def __init__(self, predicate: Callable[[Item], bool], name: str | None = None):
+        super().__init__(name or "filter")
+        self.predicate = predicate
+        self.passed = 0
+        self.dropped = 0
+
+    def process(self, item: Item, port: int = 0) -> Iterable[Item]:
+        self.work_units += 1
+        if self.predicate(item):
+            self.passed += 1
+            return (item,)
+        self.dropped += 1
+        return ()
+
+    @property
+    def observed_selectivity(self) -> float:
+        total = self.passed + self.dropped
+        return self.passed / total if total else 0.0
+
+
+class TypeFilterOperator(FilterOperator):
+    """Keep only events of one event type.
+
+    The CEP operator approach forces the union of all input streams into
+    one (Section 5.1.2); per-type filters like this one are how the mapped
+    ASP pipeline routes a shared physical stream to per-type sub-plans.
+    """
+
+    kind = "type-filter"
+
+    def __init__(self, event_type: str, name: str | None = None):
+        self.event_type = event_type
+        super().__init__(
+            lambda item: getattr(item, "event_type", None) == event_type,
+            name or f"type-filter[{event_type}]",
+        )

@@ -1,0 +1,96 @@
+"""Key extraction and hash partitioning.
+
+The mapped queries parallelize via Equi-Join keys (optimization O3):
+events are partitioned by a key attribute (the paper uses the sensor
+``id``), stateful operators run one instance per partition, and a shuffle
+re-partitions between operators. The executor here is single-process, so
+the *physical* parallelism is simulated by
+:mod:`repro.runtime.cluster`, which uses these helpers to split the key
+space over task slots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.asp.datamodel import Event
+from repro.asp.operators.base import Item, Operator
+
+KeySelector = Callable[[Item], Hashable]
+
+
+def key_by_attribute(name: str) -> KeySelector:
+    """Key selector reading an event attribute (e.g. ``id``)."""
+
+    def selector(item: Item) -> Hashable:
+        if isinstance(item, Event):
+            return item[name]
+        # A composed match inherits the key of its first constituent —
+        # Equi Joins guarantee all constituents share the key anyway.
+        return item.events[0][name]
+
+    return selector
+
+
+def stable_hash(key: Hashable) -> int:
+    """Deterministic non-negative hash, stable across processes.
+
+    ``hash()`` is randomized for strings per interpreter run; experiments
+    must partition identically on every run, so strings are hashed with a
+    small FNV-1a instead.
+    """
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    if isinstance(key, str):
+        h = 2166136261
+        for ch in key.encode():
+            h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+        return h & 0x7FFFFFFF
+    return hash(key) & 0x7FFFFFFF
+
+
+def partition_for(key: Hashable, num_partitions: int) -> int:
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    return stable_hash(key) % num_partitions
+
+
+def split_by_partition(
+    events: Iterable[Event], selector: KeySelector, num_partitions: int
+) -> list[list[Event]]:
+    """Shuffle step: route each event to its hash partition."""
+    partitions: list[list[Event]] = [[] for _ in range(num_partitions)]
+    for event in events:
+        partitions[partition_for(selector(event), num_partitions)].append(event)
+    return partitions
+
+
+def keys_per_partition(
+    keys: Sequence[Hashable], num_partitions: int
+) -> list[list[Hashable]]:
+    """Which keys land on which partition — used to report skew."""
+    out: list[list[Hashable]] = [[] for _ in range(num_partitions)]
+    for key in keys:
+        out[partition_for(key, num_partitions)].append(key)
+    return out
+
+
+class KeyByOperator(Operator):
+    """Annotate items with their partition key (logical key-by).
+
+    In a distributed ASPS this operator implies a network shuffle; in the
+    simulation it only records the key so downstream keyed operators and
+    the cluster scheduler can use it.
+    """
+
+    kind = "key-by"
+
+    def __init__(self, selector: KeySelector, name: str | None = None):
+        super().__init__(name or "key-by")
+        self.selector = selector
+        self.seen_keys: set[Hashable] = set()
+
+    def process(self, item: Item, port: int = 0) -> Iterable[Item]:
+        self.work_units += 1
+        self.seen_keys.add(self.selector(item))
+        return (item,)

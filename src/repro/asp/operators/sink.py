@@ -1,0 +1,143 @@
+"""Sinks: terminal consumers of the dataflow.
+
+The paper measures throughput and *detection latency* — the difference
+between the wall-clock time a match reaches the sink and the maximum
+event (creation) time contributing to it (Section 5.1.3).
+:class:`LatencySink` implements exactly that bookkeeping.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Iterable, List
+
+from repro.asp.datamodel import ComplexEvent
+from repro.asp.operators.base import Item, Operator
+
+
+class Sink(Operator):
+    """Base sink: swallow items, count them."""
+
+    kind = "sink"
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "sink")
+        self.count = 0
+
+    def process(self, item: Item, port: int = 0) -> Iterable[Item]:
+        self.count += 1
+        self.accept(item)
+        return ()
+
+    def accept(self, item: Item) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class DiscardSink(Sink):
+    """Count-only sink for throughput runs (no retention)."""
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "discard-sink")
+
+
+class CollectSink(Sink):
+    """Retain every item; used by correctness tests and examples."""
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "collect-sink")
+        self.items: List[Item] = []
+
+    def accept(self, item: Item) -> None:
+        self.items.append(item)
+
+    def matches(self) -> list[ComplexEvent]:
+        return [i for i in self.items if isinstance(i, ComplexEvent)]
+
+    def unique_matches(self) -> set[ComplexEvent]:
+        """Matches after duplicate elimination (semantic equivalence is
+        defined up to duplicates, after Negri et al. — paper Section 4)."""
+        return set(self.matches())
+
+
+class CallbackSink(Sink):
+    """Invoke a user callback per item (used by the examples)."""
+
+    def __init__(self, callback: Callable[[Item], None], name: str | None = None):
+        super().__init__(name or "callback-sink")
+        self.callback = callback
+
+    def accept(self, item: Item) -> None:
+        self.callback(item)
+
+
+class LatencySink(Sink):
+    """Record detection latency per match.
+
+    Latency = (wall-clock arrival at the sink) − (creation wall-clock time
+    of the latest contributing event). Sources stamp events with a
+    creation wall-clock time in ``attrs['created_wall']``; when absent we
+    fall back to the match's ``detection_ts`` bookkeeping.
+    """
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "latency-sink")
+        self.latencies_s: list[float] = []
+
+    def accept(self, item: Item) -> None:
+        now = _time.perf_counter()
+        if isinstance(item, ComplexEvent):
+            created = max(
+                (e.attrs or {}).get("created_wall", now) for e in item.events
+            )
+        else:
+            created = (getattr(item, "attrs", None) or {}).get("created_wall", now)
+        self.latencies_s.append(max(0.0, now - created))
+
+    def mean_latency_s(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+    def percentile_latency_s(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        idx = min(len(ordered) - 1, int(q / 100.0 * len(ordered)))
+        return ordered[idx]
+
+
+class EventTimeLatencySink(Sink):
+    """Detection lag in *event time*: how far the stream had progressed
+    (max source timestamp) when a match reached the sink, minus the
+    match's last contributing event time.
+
+    This isolates the windowing-strategy component of the paper's
+    detection latency: eager operators (interval joins, the NFA) emit at
+    lag ~0, while sliding windows hold results until the watermark passes
+    the window end — an overhead upper-bounded by the slide plus the
+    watermark cadence (paper Section 3.1.4). The executor wires
+    :meth:`set_event_clock` at setup.
+    """
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "event-time-latency-sink")
+        self.lags_ms: list[int] = []
+        self._event_clock: Callable[[], int] | None = None
+
+    def set_event_clock(self, clock: Callable[[], int]) -> None:
+        self._event_clock = clock
+
+    def accept(self, item: Item) -> None:
+        if self._event_clock is None:
+            return
+        now = self._event_clock()
+        emitted_at = item.ts_e if isinstance(item, ComplexEvent) else item.ts
+        self.lags_ms.append(max(0, now - emitted_at))
+
+    def mean_lag_ms(self) -> float:
+        if not self.lags_ms:
+            return 0.0
+        return sum(self.lags_ms) / len(self.lags_ms)
+
+    def max_lag_ms(self) -> int:
+        return max(self.lags_ms, default=0)

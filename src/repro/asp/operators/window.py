@@ -1,0 +1,142 @@
+"""Explicit windowing — the core of the paper's operator semantics.
+
+Section 3.1.2 of the paper defines explicit windowing via two semantic
+components: the *intra-window* semantic (Eq. 4: which events belong to a
+finite substream ``T_k = [T]^{ts_e}_{ts_b}``) and the *inter-window*
+semantic (Eq. 5: sliding windows ``T_{k+l}`` start every ``s`` time
+units). :class:`SlidingWindowAssigner` implements exactly that
+discretization; :class:`TumblingWindowAssigner` is the ``slide == size``
+special case.
+
+Theorem 2 of the paper requires the slide to be at most the minimum
+inter-event gap of the fastest stream so that every event can start a
+window (``slide-by-tuple`` in the limit). :func:`validate_slide_for_rate`
+checks this condition and is exercised by the correctness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asp.time import TimeInterval
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """User-facing window declaration: ``WITHIN (W, s)`` of the pattern."""
+
+    size: int
+    slide: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"window size must be positive, got {self.size}")
+        if self.slide <= 0:
+            raise ValueError(f"window slide must be positive, got {self.slide}")
+        if self.slide > self.size:
+            raise ValueError(
+                f"slide {self.slide} larger than size {self.size} would drop events"
+            )
+
+    @property
+    def is_tumbling(self) -> bool:
+        return self.slide == self.size
+
+    def windows_per_event(self) -> int:
+        """How many concurrent windows an event is assigned to (cost model)."""
+        return -(-self.size // self.slide)  # ceil division
+
+
+class SlidingWindowAssigner:
+    """Assigns a timestamp to all sliding windows containing it (Eq. 4/5).
+
+    Window ``k`` covers ``[k * slide, k * slide + size)`` for integer
+    ``k >= k_min``. An event with timestamp ``ts`` belongs to windows with
+    ``k`` in ``(ts - size, ts] / slide`` — i.e. ``ceil((ts - size + 1) /
+    slide) <= k <= floor(ts / slide)``.
+    """
+
+    def __init__(self, spec: WindowSpec):
+        self.spec = spec
+
+    def assign(self, ts: int) -> list[TimeInterval]:
+        size, slide = self.spec.size, self.spec.slide
+        first_k = -(-(ts - size + 1) // slide)  # ceil((ts - size + 1) / slide)
+        last_k = ts // slide
+        return [
+            TimeInterval(k * slide, k * slide + size) for k in range(first_k, last_k + 1)
+        ]
+
+    def window_for_index(self, k: int) -> TimeInterval:
+        return TimeInterval(k * self.spec.slide, k * self.spec.slide + self.spec.size)
+
+    def indices_for(self, ts: int) -> range:
+        size, slide = self.spec.size, self.spec.slide
+        first_k = -(-(ts - size + 1) // slide)
+        last_k = ts // slide
+        return range(first_k, last_k + 1)
+
+    def last_index_before(self, watermark_ts: int) -> int:
+        """Largest window index whose end is <= ``watermark_ts``."""
+        # window k ends at k * slide + size; closed when end <= watermark
+        return (watermark_ts - self.spec.size) // self.spec.slide
+
+
+class TumblingWindowAssigner(SlidingWindowAssigner):
+    """Non-overlapping windows: the ``slide == size`` case."""
+
+    def __init__(self, size: int):
+        super().__init__(WindowSpec(size=size, slide=size))
+
+
+def sliding(size: int, slide: int) -> WindowSpec:
+    return WindowSpec(size=size, slide=slide)
+
+
+def tumbling(size: int) -> WindowSpec:
+    return WindowSpec(size=size, slide=size)
+
+
+def validate_slide_for_rate(spec: WindowSpec, min_inter_event_gap: int) -> bool:
+    """Theorem 2 condition: the slide must not exceed the smallest gap
+    between consecutive events of the fastest involved stream, so that
+    every event timestamp starts some substream and no match straddling a
+    window boundary is lost.
+    """
+    return spec.slide <= max(1, min_inter_event_gap)
+
+
+@dataclass(frozen=True)
+class IntervalBounds:
+    """Relative bounds of an Interval Join window (optimization O1).
+
+    A right-side event ``e2`` joins a left-side event ``e1`` when
+    ``e1.ts + lower < e2.ts < e1.ts + upper`` (exclusive bounds, matching
+    the paper's ``e2.ts in (e1.ts + lowerBound, e1.ts + upperBound)``).
+
+    Per Section 4.3.1: the conjunction uses ``(-W, +W)``; all other
+    (temporally ordered) operators use ``(0, +W)``.
+    """
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.upper <= self.lower:
+            raise ValueError(f"empty interval bounds ({self.lower}, {self.upper})")
+
+    def window_for(self, left_ts: int) -> TimeInterval:
+        # Exclusive bounds on both sides; as timestamps are integral the
+        # half-open [left_ts + lower + 1, left_ts + upper) is equivalent.
+        return TimeInterval(left_ts + self.lower + 1, left_ts + self.upper)
+
+    def accepts(self, left_ts: int, right_ts: int) -> bool:
+        return left_ts + self.lower < right_ts < left_ts + self.upper
+
+    @staticmethod
+    def conjunction(window_size: int) -> "IntervalBounds":
+        return IntervalBounds(-window_size, window_size)
+
+    @staticmethod
+    def sequence(window_size: int) -> "IntervalBounds":
+        return IntervalBounds(0, window_size)

@@ -1,0 +1,18 @@
+"""FlinkCEP-analog NFA engine (substrate 2): the paper's baseline."""
+
+from repro.cep.matches import dedup, dedup_unordered, output_selectivity, stnm_from_stam
+from repro.cep.nfa import Nfa, PartialMatch, run_nfa
+from repro.cep.operator import CepOperator
+from repro.cep.pattern_api import (
+    CepPattern,
+    CepPatternBuilder,
+    Stage,
+    from_sea_pattern,
+)
+from repro.cep.policies import STAM, STNM, STRICT, SelectionPolicy
+
+__all__ = [
+    "CepOperator", "CepPattern", "CepPatternBuilder", "Nfa", "PartialMatch",
+    "STAM", "STNM", "STRICT", "SelectionPolicy", "Stage", "dedup",
+    "dedup_unordered", "from_sea_pattern", "output_selectivity", "run_nfa", "stnm_from_stam",
+]

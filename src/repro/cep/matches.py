@@ -1,0 +1,87 @@
+"""Match post-processing helpers shared by tests and experiments."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.asp.datamodel import ComplexEvent
+
+
+def dedup(matches: Iterable[ComplexEvent]) -> list[ComplexEvent]:
+    """Remove duplicate matches (same contributing events, same order)."""
+    seen: set[tuple] = set()
+    out: list[ComplexEvent] = []
+    for match in matches:
+        key = match.dedup_key()
+        if key not in seen:
+            seen.add(key)
+            out.append(match)
+    return out
+
+
+def dedup_unordered(matches: Iterable[ComplexEvent]) -> list[ComplexEvent]:
+    """Dedup ignoring the order of contributing events (AND is
+    commutative, so its mapped and reference matches may differ in
+    positional order)."""
+    seen: set[tuple] = set()
+    out: list[ComplexEvent] = []
+    for match in matches:
+        key = match.ordered_dedup_key()
+        if key not in seen:
+            seen.add(key)
+            out.append(match)
+    return out
+
+
+def output_selectivity(num_matches: int, num_events: int) -> float:
+    """The paper's output selectivity: #matches / #events, in percent."""
+    if num_events == 0:
+        return 0.0
+    return 100.0 * num_matches / num_events
+
+
+def stnm_from_stam(matches: Iterable[ComplexEvent]) -> list[ComplexEvent]:
+    """Construct the skip-till-next-match result from a stam result set.
+
+    Paper Section 3.1.4: "skip-till-next-match results can be constructed
+    from skip-till-any-match". Under stnm, a partial match always
+    consumes the *next* qualifying event, so for each distinct starting
+    event the stnm match is the lexicographically smallest timestamp
+    chain among that start's stam matches.
+    """
+    by_start: dict[tuple, ComplexEvent] = {}
+    for match in matches:
+        first = match.events[0]
+        start_key = (first.event_type, first.ts, first.id, first.value)
+        chain = tuple(e.ts for e in match.events[1:])
+        current = by_start.get(start_key)
+        if current is None or chain < tuple(e.ts for e in current.events[1:]):
+            by_start[start_key] = match
+    ordered = sorted(
+        by_start.values(), key=lambda m: (m.events[0].ts, m.dedup_key())
+    )
+    return ordered
+
+
+def strict_contiguity_reference(pattern, events) -> list[ComplexEvent]:
+    """Brute-force reference for the strict-contiguity policy.
+
+    Paper Section 3.1.4: strict contiguity requires all participating
+    events to occur directly after one another — equivalently, every run
+    of ``len(stages)`` consecutive stream events whose elements match the
+    stages' types and predicates (and fit the window) is a match. Used to
+    validate the NFA's ``next()`` semantics.
+    """
+    stages = [s for s in pattern.stages if not s.negated]
+    n = len(stages)
+    out: list[ComplexEvent] = []
+    ordered = list(events)
+    for start in range(len(ordered) - n + 1):
+        window_events = ordered[start:start + n]
+        if window_events[-1].ts - window_events[0].ts >= pattern.window_size:
+            continue
+        if any(a.ts >= b.ts for a, b in zip(window_events, window_events[1:])):
+            continue
+        if all(stage.accepts(e) for stage, e in zip(stages, window_events)):
+            out.append(ComplexEvent(tuple(window_events)))
+    return out

@@ -1,0 +1,236 @@
+"""NFA runtime — the order-based evaluation mechanism of FlinkCEP.
+
+The paper (Sections 2 and 5.1.2) describes the baseline as a
+nondeterministic finite automaton: each state holds the *partial matches*
+that are prefixes of the pattern; every arriving event is tested against
+the partial matches of the preceding state; accepted events extend (and,
+under skip-till-any-match, *branch*) partial matches. Windowing is
+implicit — a time predicate pruning partial matches — so outdated state
+survives until pruning, which is exactly the memory behaviour the paper
+measures in Figures 4/5.
+
+The per-event cost of this runtime is proportional to the number of live
+partial matches, and the partial-match population grows with selectivity,
+window size and pattern length — reproducing the FCEP throughput curves
+of Figure 3 without any artificial cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.asp.datamodel import ComplexEvent, Event
+from repro.asp.state import StateHandle
+from repro.cep.pattern_api import CepPattern, Stage
+from repro.cep.policies import STAM, STRICT
+
+#: Approximate bytes per partial match: object + per-event references.
+_PM_BASE_BYTES = 120
+_PM_EVENT_BYTES = 104
+
+
+class PartialMatch:
+    """A prefix of the pattern: accepted events plus bookkeeping."""
+
+    __slots__ = ("events", "binding", "pos", "start_ts", "last_ts", "blocker_ts")
+
+    def __init__(
+        self,
+        events: tuple[Event, ...],
+        binding: dict[str, Event],
+        pos: int,
+    ):
+        self.events = events
+        self.binding = binding
+        self.pos = pos
+        self.start_ts = events[0].ts
+        self.last_ts = events[-1].ts
+        self.blocker_ts: int | None = None
+
+    def size_bytes(self) -> int:
+        return _PM_BASE_BYTES + _PM_EVENT_BYTES * len(self.events)
+
+    def __repr__(self) -> str:
+        types = ",".join(e.event_type for e in self.events)
+        return f"PartialMatch([{types}] pos={self.pos})"
+
+
+class Nfa:
+    """Runs one compiled :class:`CepPattern` over a single event stream."""
+
+    def __init__(self, pattern: CepPattern, state_handle: StateHandle | None = None):
+        self.pattern = pattern
+        self.stages = pattern.stages
+        self.window = pattern.window_size
+        # Indices of positive (match-contributing) stages.
+        self.positive_indices = [
+            i for i, s in enumerate(self.stages) if not s.negated
+        ]
+        self.num_positive = len(self.positive_indices)
+        # Negated stages watched while waiting for positive stage ``pos``
+        # (i.e. between positive stage pos-1 and positive stage pos).
+        self.watch: list[list[Stage]] = [[] for _ in range(self.num_positive)]
+        for pos in range(1, self.num_positive):
+            lo = self.positive_indices[pos - 1]
+            hi = self.positive_indices[pos]
+            self.watch[pos] = [
+                s for s in self.stages[lo + 1 : hi] if s.negated
+            ]
+        # Live partial matches grouped by ``pos`` (1 .. num_positive - 1).
+        self.partials: list[list[PartialMatch]] = [
+            [] for _ in range(self.num_positive)
+        ]
+        self.handle = state_handle
+        self.work_units = 0
+        self.matches_emitted = 0
+        self.partials_created = 0
+        self.partials_pruned = 0
+
+    # -- state accounting -----------------------------------------------------
+
+    def _track_add(self, pm: PartialMatch) -> None:
+        self.partials_created += 1
+        if self.handle is not None:
+            self.handle.adjust(pm.size_bytes(), +1)
+
+    def _track_remove(self, pm: PartialMatch) -> None:
+        if self.handle is not None:
+            self.handle.adjust(-pm.size_bytes(), -1)
+
+    def live_partial_matches(self) -> int:
+        return sum(len(bucket) for bucket in self.partials)
+
+    # -- event processing ----------------------------------------------------------
+
+    def process(self, event: Event) -> list[ComplexEvent]:
+        """Advance the NFA by one event; return completed matches."""
+        out: list[ComplexEvent] = []
+        ts = event.ts
+        # Walk positions from deep to shallow so a newly created partial
+        # match never consumes the event that created it.
+        for pos in range(self.num_positive - 1, 0, -1):
+            bucket = self.partials[pos]
+            if not bucket:
+                continue
+            stage = self.stages[self.positive_indices[pos]]
+            watched = self.watch[pos]
+            stage_accepts = stage.accepts(event)
+            blocker_stage = None
+            for neg in watched:
+                if neg.accepts(event):
+                    blocker_stage = neg
+                    break
+            survivors: list[PartialMatch] = []
+            for pm in bucket:
+                self.work_units += 1
+                if blocker_stage is not None and ts > pm.last_ts:
+                    # Eq. 14: a qualifying negated event strictly after the
+                    # last accepted event blocks later completions.
+                    if pm.blocker_ts is None or ts < pm.blocker_ts:
+                        pm.blocker_ts = ts
+                keep = True
+                if stage_accepts and ts > pm.last_ts and ts - pm.start_ts < self.window:
+                    blocked = pm.blocker_ts is not None and pm.blocker_ts < ts
+                    ok = not blocked
+                    if ok and stage.iterative_condition is not None:
+                        ok = stage.iterative_condition(pm.events[-1], event)
+                    if ok and stage.binding_condition is not None:
+                        ok = stage.binding_condition(pm.binding, event)
+                    if ok:
+                        self._extend(pm, stage, event, pos, out)
+                        if stage.policy is not STAM:
+                            # stnm and strict consume: no branching — the
+                            # original partial match does not also wait
+                            # for later alternatives.
+                            keep = False
+                elif stage.policy is STRICT and ts > pm.last_ts:
+                    # Strict contiguity: any non-matching event kills the
+                    # partial match waiting on a strict stage.
+                    keep = False
+                if keep:
+                    survivors.append(pm)
+                else:
+                    self._track_remove(pm)
+            self.partials[pos] = survivors
+        # Spawn a fresh partial match when the first stage accepts.
+        first = self.stages[self.positive_indices[0]]
+        self.work_units += 1
+        if first.accepts(event):
+            ok = True
+            if first.binding_condition is not None:
+                ok = first.binding_condition({}, event)
+            if ok:
+                pm = PartialMatch((event,), {first.name: event}, pos=1)
+                if self.num_positive == 1:
+                    self._complete(pm, out)
+                else:
+                    self.partials[1].append(pm)
+                    self._track_add(pm)
+        self.matches_emitted += len(out)
+        return out
+
+    def _extend(
+        self,
+        pm: PartialMatch,
+        stage: Stage,
+        event: Event,
+        pos: int,
+        out: list[ComplexEvent],
+    ) -> PartialMatch | None:
+        binding = dict(pm.binding)
+        binding[stage.name] = event
+        extended = PartialMatch(pm.events + (event,), binding, pos + 1)
+        if extended.pos == self.num_positive:
+            self._complete(extended, out)
+            return None
+        self.partials[extended.pos].append(extended)
+        self._track_add(extended)
+        return extended
+
+    def _complete(self, pm: PartialMatch, out: list[ComplexEvent]) -> None:
+        if self.pattern.match_condition is not None:
+            if not self.pattern.match_condition(pm.binding):
+                return
+        out.append(ComplexEvent(pm.events))
+
+    # -- pruning ----------------------------------------------------------------------
+
+    def prune(self, watermark_ts: int) -> int:
+        """Drop partial matches whose window elapsed (implicit windowing).
+
+        A partial match cannot be extended once every future event would
+        violate ``e.ts - start_ts < W``, i.e. when
+        ``watermark >= start_ts + W``.
+        """
+        dropped = 0
+        for pos in range(1, self.num_positive):
+            bucket = self.partials[pos]
+            if not bucket:
+                continue
+            survivors = []
+            for pm in bucket:
+                if pm.start_ts + self.window <= watermark_ts:
+                    self._track_remove(pm)
+                    dropped += 1
+                else:
+                    survivors.append(pm)
+            self.partials[pos] = survivors
+        self.partials_pruned += dropped
+        return dropped
+
+    def flush(self) -> None:
+        """Drop all remaining state (end of stream)."""
+        for pos in range(1, self.num_positive):
+            for pm in self.partials[pos]:
+                self._track_remove(pm)
+            self.partials[pos] = []
+
+
+def run_nfa(pattern: CepPattern, events: Iterable[Event]) -> list[ComplexEvent]:
+    """Convenience: run a pattern over a finite, time-ordered stream."""
+    nfa = Nfa(pattern)
+    matches: list[ComplexEvent] = []
+    for event in events:
+        matches.extend(nfa.process(event))
+    nfa.flush()
+    return matches

@@ -1,0 +1,356 @@
+"""Fluent FlinkCEP-style pattern API (the baseline's language model).
+
+FlinkCEP exposes a functional builder instead of a declarative PSL
+(paper Section 2). This module reproduces that API surface::
+
+    cep = (CepPatternBuilder.begin("q1", "Q").where(lambda e: e.value > 50)
+           .followed_by_any("v1", "V")
+           .not_followed_by("p1", "PM10")
+           .followed_by_any("q2", "Q")
+           .within(minutes(15))
+           .build())
+
+plus :func:`from_sea_pattern`, which compiles a SEA :class:`Pattern`
+into the equivalent CEP pattern using the stam operators the paper uses
+for comparability (``followedByAny``, ``times(m).allowCombinations()``,
+``notFollowedBy`` — Section 5.1.2). Conjunction and disjunction raise
+:class:`~repro.errors.TranslationError`: FlinkCEP does not support them
+(paper Table 2), which is itself one of the mapping's selling points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.asp.datamodel import Event
+from repro.cep.policies import STAM, STNM, STRICT, SelectionPolicy
+from repro.errors import PatternValidationError, TranslationError
+from repro.sea.ast import (
+    Conjunction,
+    Disjunction,
+    EventTypeRef,
+    Iteration,
+    NegatedSequence,
+    Pattern,
+    Sequence,
+)
+from repro.sea.predicates import Predicate, classify_conjuncts
+
+#: Stage predicate over the candidate event alone.
+StagePredicate = Callable[[Event], bool]
+#: Iterative condition over (previously accepted event, candidate).
+IterativeCondition = Callable[[Event, Event], bool]
+#: Condition over (partial binding alias->event, candidate) — FlinkCEP's
+#: IterativeCondition with context access.
+BindingCondition = Callable[[dict[str, Event], Event], bool]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One state transition of the NFA.
+
+    ``policy`` is the contiguity requirement *towards the previous
+    stage*; it is ignored on the first stage. ``negated`` marks a
+    ``notFollowedBy`` stage: it never accepts events into the match but
+    blocks partial matches when a qualifying event occurs before the next
+    positive stage is reached.
+    """
+
+    name: str
+    event_type: str
+    policy: SelectionPolicy = STAM
+    predicate: StagePredicate | None = None
+    iterative_condition: IterativeCondition | None = None
+    binding_condition: BindingCondition | None = None
+    negated: bool = False
+
+    def accepts(self, event: Event) -> bool:
+        if event.event_type != self.event_type:
+            return False
+        return self.predicate is None or self.predicate(event)
+
+
+@dataclass(frozen=True)
+class CepPattern:
+    """A complete compiled CEP pattern: stages + implicit window."""
+
+    stages: tuple[Stage, ...]
+    window_size: int
+    name: str = "cep-pattern"
+    #: Final filter over the completed binding (cross-stage predicates
+    #: that could not be evaluated earlier).
+    match_condition: Callable[[dict[str, Event]], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise PatternValidationError("CEP pattern requires at least one stage")
+        if self.window_size <= 0:
+            raise PatternValidationError("CEP pattern requires a positive window")
+        if self.stages[0].negated or self.stages[-1].negated:
+            raise PatternValidationError(
+                "negation must sit between two positive stages (negated sequence)"
+            )
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise PatternValidationError(f"duplicate stage names in {names}")
+
+    @property
+    def positive_stages(self) -> tuple[Stage, ...]:
+        return tuple(s for s in self.stages if not s.negated)
+
+    def describe(self) -> str:
+        parts = []
+        for i, stage in enumerate(self.stages):
+            op = "begin" if i == 0 else (
+                ".notFollowedBy" if stage.negated else {
+                    STAM: ".followedByAny",
+                    STNM: ".followedBy",
+                    STRICT: ".next",
+                }[stage.policy]
+            )
+            parts.append(f"{op}({stage.name}:{stage.event_type})")
+        return "".join(parts) + f".within({self.window_size}ms)"
+
+
+class CepPatternBuilder:
+    """Fluent builder mirroring FlinkCEP's Pattern API."""
+
+    def __init__(self, stages: list[Stage]):
+        self._stages = stages
+        self._window: int | None = None
+        self._match_condition: Callable[[dict[str, Event]], bool] | None = None
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def begin(name: str, event_type: str) -> "CepPatternBuilder":
+        return CepPatternBuilder([Stage(name, event_type, policy=STAM)])
+
+    # -- stage chaining ------------------------------------------------------
+
+    def _append(self, stage: Stage) -> "CepPatternBuilder":
+        self._stages.append(stage)
+        return self
+
+    def followed_by_any(self, name: str, event_type: str) -> "CepPatternBuilder":
+        """Relaxed contiguity, any alternative (stam)."""
+        return self._append(Stage(name, event_type, policy=STAM))
+
+    def followed_by(self, name: str, event_type: str) -> "CepPatternBuilder":
+        """Relaxed contiguity, next alternative only (stnm)."""
+        return self._append(Stage(name, event_type, policy=STNM))
+
+    def next(self, name: str, event_type: str) -> "CepPatternBuilder":
+        """Strict contiguity (sc)."""
+        return self._append(Stage(name, event_type, policy=STRICT))
+
+    def not_followed_by(self, name: str, event_type: str) -> "CepPatternBuilder":
+        """Negation stage (``notFollowedBy``)."""
+        return self._append(Stage(name, event_type, policy=STAM, negated=True))
+
+    # -- stage modifiers --------------------------------------------------------
+
+    def where(self, predicate: StagePredicate) -> "CepPatternBuilder":
+        """Attach/conjoin a predicate to the most recent stage."""
+        last = self._stages[-1]
+        if last.predicate is None:
+            new_pred = predicate
+        else:
+            prev = last.predicate
+            new_pred = lambda e, prev=prev, predicate=predicate: prev(e) and predicate(e)
+        self._stages[-1] = replace(last, predicate=new_pred)
+        return self
+
+    def times(
+        self,
+        count: int,
+        allow_combinations: bool = True,
+        condition: IterativeCondition | None = None,
+    ) -> "CepPatternBuilder":
+        """Expand the last stage into ``count`` repetitions (iteration).
+
+        ``allow_combinations=True`` corresponds to
+        ``times(n).allowCombinations()`` — the stam variant the paper
+        benchmarks. ``condition`` is the inter-event constraint between
+        consecutive repetitions (paper workload ITER_2).
+        """
+        if count < 1:
+            raise PatternValidationError(f"times() requires count >= 1, got {count}")
+        base = self._stages.pop()
+        policy = STAM if allow_combinations else STNM
+        for i in range(1, count + 1):
+            self._stages.append(
+                Stage(
+                    name=f"{base.name}[{i}]" if count > 1 else base.name,
+                    event_type=base.event_type,
+                    policy=base.policy if i == 1 else policy,
+                    predicate=base.predicate,
+                    iterative_condition=condition if i > 1 else None,
+                    negated=base.negated,
+                )
+            )
+        return self
+
+    def with_binding_condition(self, condition: BindingCondition) -> "CepPatternBuilder":
+        """Attach a cross-stage condition evaluated when the most recent
+        stage accepts (FlinkCEP's IterativeCondition with context)."""
+        last = self._stages[-1]
+        self._stages[-1] = replace(last, binding_condition=condition)
+        return self
+
+    def with_match_condition(
+        self, condition: Callable[[dict[str, Event]], bool]
+    ) -> "CepPatternBuilder":
+        self._match_condition = condition
+        return self
+
+    # -- finalization -------------------------------------------------------------
+
+    def within(self, window_size: int) -> "CepPatternBuilder":
+        self._window = window_size
+        return self
+
+    def build(self, name: str = "cep-pattern") -> CepPattern:
+        if self._window is None:
+            raise PatternValidationError("CEP pattern requires .within(window)")
+        return CepPattern(
+            stages=tuple(self._stages),
+            window_size=self._window,
+            name=name,
+            match_condition=self._match_condition,
+        )
+
+
+def _cross_stage_condition(
+    conjuncts: list[Predicate], alias: str
+) -> BindingCondition:
+    """Compile conjuncts into a binding condition evaluated when ``alias``
+    is accepted; only conjuncts fully bound at that point are checked by
+    the NFA (it passes the subset whose aliases are available)."""
+
+    def condition(binding: dict[str, Event], candidate: Event) -> bool:
+        probe = dict(binding)
+        probe[alias] = candidate
+        for conjunct in conjuncts:
+            if conjunct.aliases() <= probe.keys():
+                if not conjunct.evaluate(probe):
+                    return False
+        return True
+
+    return condition
+
+
+def from_sea_pattern(pattern: Pattern, policy: SelectionPolicy = STAM) -> CepPattern:
+    """Compile a SEA pattern into the equivalent (stam) CEP pattern.
+
+    Mirrors the operator support of FlinkCEP (paper Table 2): SEQ, ITER
+    and NSEQ translate; AND and OR raise :class:`TranslationError`.
+    """
+    root = pattern.root
+    single, equi, multi = classify_conjuncts(pattern.where)
+    cross_conjuncts: list[Predicate] = list(equi) + list(multi)
+
+    def stage_predicate(alias: str, extra_bare: str | None = None) -> StagePredicate | None:
+        preds = list(single.get(alias, []))
+        if extra_bare is not None:
+            preds.extend(single.get(extra_bare, []))
+        if not preds:
+            return None
+        target = extra_bare if extra_bare is not None else alias
+
+        def check(event: Event) -> bool:
+            for p in preds:
+                bound_alias = next(iter(p.aliases()), target)
+                if not p.evaluate({bound_alias: event}):
+                    return False
+            return True
+
+        return check
+
+    builder: CepPatternBuilder | None = None
+
+    def add_positive(alias: str, event_type: str, negated: bool = False,
+                     bare_alias: str | None = None) -> None:
+        nonlocal builder
+        if builder is None:
+            if negated:
+                raise PatternValidationError("pattern cannot start with a negation")
+            builder = CepPatternBuilder.begin(alias, event_type)
+        elif negated:
+            builder.not_followed_by(alias, event_type)
+        elif policy is STAM:
+            builder.followed_by_any(alias, event_type)
+        elif policy is STNM:
+            builder.followed_by(alias, event_type)
+        else:
+            builder.next(alias, event_type)
+        pred = stage_predicate(alias, bare_alias)
+        if pred is not None:
+            builder.where(pred)
+        if not negated and cross_conjuncts:
+            builder.with_binding_condition(
+                _cross_stage_condition(cross_conjuncts, alias)
+            )
+
+    def add_node(node) -> None:
+        nonlocal builder
+        if isinstance(node, EventTypeRef):
+            add_positive(node.alias, node.event_type)
+            return
+        if isinstance(node, Iteration):
+            if node.minimum_occurrences:
+                raise TranslationError(
+                    "FlinkCEP times() expands to a fixed count; unbounded "
+                    "Kleene+ is exercised through the O2 mapping instead"
+                )
+            op = node.operand
+            if builder is None:
+                builder = CepPatternBuilder.begin(op.alias, op.event_type)
+            elif policy is STAM:
+                builder.followed_by_any(op.alias, op.event_type)
+            elif policy is STNM:
+                builder.followed_by(op.alias, op.event_type)
+            else:
+                builder.next(op.alias, op.event_type)
+            pred = stage_predicate(op.alias)
+            if pred is not None:
+                builder.where(pred)
+            builder.times(
+                node.count,
+                allow_combinations=(policy is STAM),
+                condition=node.condition,
+            )
+            return
+        if isinstance(node, Sequence):
+            for part in node.parts:
+                add_node(part)
+            return
+        if isinstance(node, NegatedSequence):
+            add_node(node.first)
+            add_positive(node.negated.alias, node.negated.event_type, negated=True)
+            add_node(node.last)
+            return
+        if isinstance(node, (Conjunction, Disjunction)):
+            raise TranslationError(
+                f"FlinkCEP does not support {node.keyword} (paper Table 2); "
+                "use the CEP-to-ASP mapping instead"
+            )
+        raise TranslationError(f"cannot compile node {node!r} to a CEP pattern")
+
+    add_node(root)
+    assert builder is not None
+    builder.within(pattern.window.size)
+    if cross_conjuncts:
+        # Safety net: any cross-stage conjunct not fully evaluable during
+        # acceptance (e.g. referencing indexed iteration aliases) is
+        # re-checked on the completed binding.
+        def final_check(binding: dict[str, Event]) -> bool:
+            for conjunct in cross_conjuncts:
+                if conjunct.aliases() <= binding.keys():
+                    if not conjunct.evaluate(binding):
+                        return False
+            return True
+
+        builder.with_match_condition(final_check)
+    return builder.build(name=pattern.name)

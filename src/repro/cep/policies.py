@@ -1,0 +1,47 @@
+"""Selection policies of order-based CEP systems (paper Section 3.1.4).
+
+* ``SKIP_TILL_ANY_MATCH`` (stam) — any combination of relevant events
+  forms a match regardless of irrelevant events in between. The most
+  flexible and most expensive policy (worst-case exponential); it is the
+  policy the paper's set semantics correspond to, and the one used for
+  all FCEP-vs-FASP comparisons (``followedByAny`` /
+  ``times(n).allowCombinations()`` / ``notFollowedBy``).
+* ``SKIP_TILL_NEXT_MATCH`` (stnm) — irrelevant events are ignored but a
+  partial match only consumes the *next* relevant event
+  (``followedBy``).
+* ``STRICT_CONTIGUITY`` (sc) — matched events must occur directly after
+  one another with no event in between (``next``).
+
+The stam result set is a superset of the other two policies' results
+(paper Section 3.1.4); property tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SelectionPolicy(Enum):
+    SKIP_TILL_ANY_MATCH = "skip-till-any-match"
+    SKIP_TILL_NEXT_MATCH = "skip-till-next-match"
+    STRICT_CONTIGUITY = "strict-contiguity"
+
+    @property
+    def short_name(self) -> str:
+        return {"skip-till-any-match": "stam",
+                "skip-till-next-match": "stnm",
+                "strict-contiguity": "sc"}[self.value]
+
+    @property
+    def flink_operator(self) -> str:
+        """The FlinkCEP API call expressing this policy for a sequence."""
+        return {
+            SelectionPolicy.SKIP_TILL_ANY_MATCH: ".followedByAny()",
+            SelectionPolicy.SKIP_TILL_NEXT_MATCH: ".followedBy()",
+            SelectionPolicy.STRICT_CONTIGUITY: ".next()",
+        }[self]
+
+
+STAM = SelectionPolicy.SKIP_TILL_ANY_MATCH
+STNM = SelectionPolicy.SKIP_TILL_NEXT_MATCH
+STRICT = SelectionPolicy.STRICT_CONTIGUITY

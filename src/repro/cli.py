@@ -1,0 +1,275 @@
+"""Command-line interface: run CEP patterns on the ASP engine from a shell.
+
+Subcommands
+-----------
+
+``explain``   parse a pattern, print its logical plan and SQL view::
+
+    python -m repro explain -p "PATTERN SEQ(Q a, V b) WITHIN 15 MINUTES" --o1
+
+``generate``  write synthetic QnV / air-quality CSV streams::
+
+    python -m repro generate --out data/ --segments 8 --minutes 600
+
+``run``       execute a pattern over CSV streams (one file per type)::
+
+    python -m repro run -p "PATTERN SEQ(Q a, V b) WITHIN 15 MINUTES" \
+        --stream Q=data/Q.csv --stream V=data/V.csv --engine both
+
+``advise``    recommend optimizations from the streams' characteristics::
+
+    python -m repro advise -p "..." --stream Q=data/Q.csv --stream V=data/V.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.asp.operators.source import ListSource
+from repro.asp.time import minutes
+from repro.cep.matches import dedup
+from repro.cep.nfa import run_nfa
+from repro.cep.pattern_api import from_sea_pattern
+from repro.errors import ReproError, TranslationError
+from repro.mapping.advisor import recommend_options, statistics_from_streams
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.rules import build_plan
+from repro.mapping.sql import render_sql
+from repro.mapping.translator import translate
+from repro.sea.parser import parse_pattern
+from repro.workloads.airquality import AirQualityConfig, aq_streams
+from repro.workloads.csvio import read_events, write_events
+from repro.workloads.qnv import QnVConfig, qnv_streams
+
+
+def _options_from_args(args: argparse.Namespace) -> TranslationOptions:
+    kwargs = {}
+    if getattr(args, "o1", False):
+        from repro.mapping.plan import WindowStrategy
+
+        kwargs["join_strategy"] = WindowStrategy.INTERVAL
+    if getattr(args, "o2", False):
+        kwargs["iteration_strategy"] = "aggregate"
+    if getattr(args, "o3", None):
+        kwargs["partition_attribute"] = args.o3
+    if getattr(args, "multiway", False):
+        kwargs["use_multiway_joins"] = True
+    return TranslationOptions(**kwargs)
+
+
+def _pattern_from_args(args: argparse.Namespace):
+    if args.pattern:
+        text = args.pattern
+    elif args.pattern_file:
+        text = Path(args.pattern_file).read_text()
+    else:
+        raise ReproError("provide --pattern or --pattern-file")
+    return parse_pattern(text, name=getattr(args, "name", "cli-pattern"))
+
+
+def _streams_from_args(args: argparse.Namespace) -> dict[str, list]:
+    streams: dict[str, list] = {}
+    for spec in args.stream or []:
+        if "=" not in spec:
+            raise ReproError(f"--stream expects TYPE=path.csv, got {spec!r}")
+        event_type, _, path = spec.partition("=")
+        streams[event_type] = list(read_events(path))
+    if not streams:
+        raise ReproError("at least one --stream TYPE=path.csv is required")
+    return streams
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    pattern = _pattern_from_args(args)
+    options = _options_from_args(args)
+    print(pattern.render())
+    plan = build_plan(pattern, options)
+    print()
+    print(plan.explain())
+    print()
+    print(render_sql(plan))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    duration = minutes(args.minutes)
+    written: dict[str, int] = {}
+    qnv = qnv_streams(
+        QnVConfig(num_segments=args.segments, duration_ms=duration, seed=args.seed)
+    )
+    for event_type, events in qnv.items():
+        written[event_type] = write_events(out / f"{event_type}.csv", events)
+    if args.air_quality:
+        aq = aq_streams(
+            AirQualityConfig(
+                num_sensors=args.segments, duration_ms=duration, seed=args.seed
+            )
+        )
+        for event_type, events in aq.items():
+            written[event_type] = write_events(out / f"{event_type}.csv", events)
+    for event_type, count in sorted(written.items()):
+        print(f"wrote {out / (event_type + '.csv')}: {count} events")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    pattern = _pattern_from_args(args)
+    streams = _streams_from_args(args)
+    options = _options_from_args(args)
+    engines = ("fasp", "fcep") if args.engine == "both" else (args.engine,)
+    results = {}
+    for engine in engines:
+        if engine == "fasp":
+            sources = {
+                t: ListSource(events, name=f"src[{t}]", event_type=t)
+                for t, events in streams.items()
+            }
+            query = translate(pattern, sources, options)
+            run = query.execute()
+            matches = query.matches()
+            results["fasp"] = (run.throughput_tps, matches)
+            print(
+                f"[{options.label()}] {run.events_in} events -> "
+                f"{len(matches)} matches @ {run.throughput_tps:,.0f} tpl/s"
+            )
+        else:
+            from repro.asp.datamodel import merge_events
+
+            try:
+                cep = from_sea_pattern(pattern)
+            except TranslationError as exc:
+                print(f"[FCEP] unsupported: {exc}")
+                continue
+            merged = merge_events(*streams.values())
+            matches = dedup(run_nfa(cep, merged))
+            results["fcep"] = (None, matches)
+            print(f"[FCEP] {len(merged)} events -> {len(matches)} matches")
+    if len(results) == 2:
+        fasp_keys = {m.dedup_key() for m in dedup(results["fasp"][1])}
+        fcep_keys = {m.dedup_key() for m in results["fcep"][1]}
+        agree = fasp_keys == fcep_keys
+        print(f"engines agree: {agree}")
+        if not agree:
+            return 1
+    shown = results.get("fasp") or results.get("fcep")
+    if args.show > 0 and shown is not None:
+        for match in shown[1][: args.show]:
+            parts = ", ".join(
+                f"{e.event_type}@{e.ts}(id={e.id}, v={e.value:.1f})"
+                for e in match.events
+            )
+            print(f"  match: {parts}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig3a": "fig3a_baseline",
+    "fig3b": "fig3b_selectivity",
+    "fig3c": "fig3c_window_size",
+    "fig3d": "fig3d_pattern_length",
+    "fig3e": "fig3e_iteration_consecutive",
+    "fig3f": "fig3f_iteration_threshold",
+    "fig4": "fig4_keys",
+    "fig6": "fig6_scalability",
+}
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run one paper experiment and print its table (see benchmarks/ for
+    the full asserted suite)."""
+    import repro.experiments as experiments
+    from repro.experiments import Scale, render_figure, render_speedups
+
+    driver_name = _EXPERIMENTS.get(args.experiment)
+    if driver_name is None:
+        print(f"error: unknown experiment '{args.experiment}'; "
+              f"available: {', '.join(sorted(_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    driver = getattr(experiments, driver_name)
+    scale = Scale(events=args.events, sensors=args.sensors)
+    rows = driver(scale)
+    print(render_figure(rows, f"{args.experiment} ({args.events} events)"))
+    print()
+    print(render_speedups(rows))
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    pattern = _pattern_from_args(args)
+    streams = _streams_from_args(args)
+    stats = statistics_from_streams(streams)
+    recommendation = recommend_options(
+        pattern, stats, partition_attribute=args.o3 or None
+    )
+    print(recommendation.explain())
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CEP-to-ASP mapping (EDBT 2024 reproduction) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_pattern_args(p):
+        p.add_argument("-p", "--pattern", help="inline SASE+-style pattern text")
+        p.add_argument("--pattern-file", help="file containing the pattern text")
+        p.add_argument("--o1", action="store_true", help="use interval joins (O1)")
+        p.add_argument("--o2", action="store_true", help="aggregate iterations (O2)")
+        p.add_argument("--o3", metavar="ATTR", help="partition by attribute (O3)")
+        p.add_argument("--multiway", action="store_true",
+                       help="compose flat SEQ/AND with one n-ary window join")
+
+    explain = sub.add_parser("explain", help="show the mapped plan and SQL")
+    add_pattern_args(explain)
+    explain.set_defaults(func=cmd_explain)
+
+    generate = sub.add_parser("generate", help="write synthetic CSV streams")
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--segments", type=int, default=4)
+    generate.add_argument("--minutes", type=int, default=600)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--air-quality", action="store_true",
+                          help="also generate PM10/PM2/TEMP/HUM streams")
+    generate.set_defaults(func=cmd_generate)
+
+    run = sub.add_parser("run", help="execute a pattern over CSV streams")
+    add_pattern_args(run)
+    run.add_argument("--stream", action="append", metavar="TYPE=PATH",
+                     help="CSV stream per event type (repeatable)")
+    run.add_argument("--engine", choices=("fasp", "fcep", "both"), default="fasp")
+    run.add_argument("--show", type=int, default=5,
+                     help="print up to N matches (default 5)")
+    run.set_defaults(func=cmd_run)
+
+    advise = sub.add_parser("advise", help="recommend optimizations")
+    add_pattern_args(advise)
+    advise.add_argument("--stream", action="append", metavar="TYPE=PATH")
+    advise.set_defaults(func=cmd_advise)
+
+    bench = sub.add_parser("bench", help="run one paper experiment")
+    bench.add_argument("experiment", help="fig3a..fig3f, fig4, fig6")
+    bench.add_argument("--events", type=int, default=8000)
+    bench.add_argument("--sensors", type=int, default=4)
+    bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

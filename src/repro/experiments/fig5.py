@@ -1,0 +1,91 @@
+"""Figure 5 — resource utilization over time.
+
+The paper samples memory and CPU usage of SEQ7 and ITER4 with 32 and 128
+keys over a ~30-minute run. Here each approach runs single-process with
+the executor's sampling enabled; the memory curve is the tracked operator
+state, the CPU curve is the normalized work-unit rate
+(:func:`repro.runtime.metrics.cpu_proxy_series`).
+
+Expected shapes (Section 5.2.4): FCEP's memory matches or exceeds FASP's
+despite ingesting at a lower rate (the NFA keeps partial matches under
+implicit windowing), and the sliding-window variant (FASP-O3) shows the
+highest CPU-proxy utilization because it constantly creates and processes
+windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.common import Scale
+from repro.experiments.fig4 import iter4_pattern, keyed_workload, seq7_pattern
+from repro.mapping.optimizations import TranslationOptions
+from repro.runtime.harness import run_fasp, run_fcep
+from repro.runtime.metrics import ResourceSample, cpu_proxy_series, resource_series
+
+
+@dataclass
+class ResourceTrace:
+    """One approach's sampled run."""
+
+    approach: str
+    pattern: str
+    keys: int
+    samples: list[ResourceSample] = field(default_factory=list)
+    throughput_tps: float = 0.0
+
+    def memory_series(self) -> list[tuple[float, int]]:
+        return [(s.wall_s, s.state_bytes) for s in self.samples]
+
+    def cpu_series(self) -> list[tuple[float, float]]:
+        return cpu_proxy_series(self.samples)
+
+    def peak_memory(self) -> int:
+        return max((s.state_bytes for s in self.samples), default=0)
+
+
+_APPROACHES: tuple[tuple[str, TranslationOptions | None], ...] = (
+    ("FCEP", None),
+    ("FASP-O3", TranslationOptions.o3()),
+    ("FASP-O1+O3", TranslationOptions.o1_o3()),
+)
+
+
+def fig5_resources(
+    scale: Scale | None = None,
+    key_counts: Sequence[int] = (32, 128),
+    sample_every: int = 500,
+) -> list[ResourceTrace]:
+    scale = scale or Scale.default()
+    traces: list[ResourceTrace] = []
+    for keys in key_counts:
+        streams = keyed_workload(keys, scale.events, seed=scale.seed)
+        for pattern, pattern_streams, approaches in (
+            (seq7_pattern(), streams, _APPROACHES),
+            (
+                iter4_pattern(),
+                {"V": streams["V"]},
+                _APPROACHES + (("FASP-O2+O3", TranslationOptions.o2_o3()),),
+            ),
+        ):
+            for label, options in approaches:
+                if options is None:
+                    measurement, _sink, result = run_fcep(
+                        pattern, pattern_streams,
+                        key_attribute="id", sample_every=sample_every,
+                    )
+                else:
+                    measurement, _sink, result = run_fasp(
+                        pattern, pattern_streams, options, sample_every=sample_every
+                    )
+                traces.append(
+                    ResourceTrace(
+                        approach=label,
+                        pattern=pattern.name,
+                        keys=keys,
+                        samples=resource_series(result),
+                        throughput_tps=measurement.throughput_tps,
+                    )
+                )
+    return traces

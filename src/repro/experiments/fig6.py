@@ -1,0 +1,60 @@
+"""Figure 6 — scalability over workers.
+
+The paper scales SEQ7 and ITER4 (128 keys) from one to four workers with
+16 slots each. The simulated cluster reproduces the makespan model: more
+workers spread the key partitions, the slowest worker bounds the job.
+Expected shape: both approaches scale, FCEP gains the most relative to
+its one-worker baseline (it is the most resource-starved) but never
+reaches the mapped queries' absolute throughput (~60 % gap on average).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentRow, Scale
+from repro.experiments.fig4 import iter4_pattern, keyed_workload, seq7_pattern
+from repro.mapping.optimizations import TranslationOptions
+from repro.runtime.cluster import ClusterConfig
+from repro.runtime.harness import run_fasp_on_cluster, run_fcep_on_cluster
+
+_APPROACHES: tuple[tuple[str, TranslationOptions | None], ...] = (
+    ("FCEP", None),
+    ("FASP-O3", TranslationOptions.o3()),
+    ("FASP-O1+O3", TranslationOptions.o1_o3()),
+)
+
+
+def fig6_scalability(
+    scale: Scale | None = None,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    slots_per_worker: int = 16,
+    num_keys: int = 128,
+) -> list[ExperimentRow]:
+    scale = scale or Scale.default()
+    # x8 volume so even 64-slot partitions carry enough work for stable
+    # per-slot timing.
+    streams = keyed_workload(num_keys, scale.events * 8, seed=scale.seed)
+    rows: list[ExperimentRow] = []
+    seq7 = seq7_pattern()
+    iter4 = iter4_pattern()
+    v_only = {"V": streams["V"]}
+    for workers in worker_counts:
+        config = ClusterConfig(num_workers=workers, slots_per_worker=slots_per_worker)
+        for label, options in _APPROACHES:
+            if options is None:
+                measurement, _outcome = run_fcep_on_cluster(seq7, streams, config)
+            else:
+                measurement, _outcome = run_fasp_on_cluster(seq7, streams, config, options)
+            rows.append(
+                ExperimentRow.from_measurement("fig6", f"workers={workers}", measurement)
+            )
+        for label, options in _APPROACHES + (("FASP-O2+O3", TranslationOptions.o2_o3()),):
+            if options is None:
+                measurement, _outcome = run_fcep_on_cluster(iter4, v_only, config)
+            else:
+                measurement, _outcome = run_fasp_on_cluster(iter4, v_only, config, options)
+            rows.append(
+                ExperimentRow.from_measurement("fig6", f"workers={workers}", measurement)
+            )
+    return rows

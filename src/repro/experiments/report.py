@@ -1,0 +1,147 @@
+"""Paper-style rendering of experiment rows.
+
+``render_figure`` prints one table per experiment with approaches as
+columns and parameters as rows — the series the paper plots. The
+benchmark harness tees these to stdout so ``pytest benchmarks/`` output
+doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Sequence
+
+from repro.experiments.common import ExperimentRow
+from repro.runtime.metrics import format_tps
+
+
+def _ordered_unique(values: Iterable[str]) -> list[str]:
+    out: "OrderedDict[str, None]" = OrderedDict()
+    for value in values:
+        out.setdefault(value)
+    return list(out)
+
+
+def render_figure(rows: Sequence[ExperimentRow], title: str) -> str:
+    """One table per pattern: parameter rows x approach columns."""
+    blocks: list[str] = [f"== {title} =="]
+    patterns = _ordered_unique(r.pattern for r in rows)
+    for pattern in patterns:
+        sub = [r for r in rows if r.pattern == pattern]
+        approaches = _ordered_unique(r.approach for r in sub)
+        parameters = _ordered_unique(r.parameter for r in sub)
+        col_width = max(12, *(len(a) for a in approaches))
+        param_width = max(10, *(len(p) for p in parameters))
+        header = f"  {pattern}\n  " + "parameter".ljust(param_width) + " | " + " | ".join(
+            a.rjust(col_width) for a in approaches
+        )
+        lines = [header, "  " + "-" * (param_width + 3 + (col_width + 3) * len(approaches))]
+        for parameter in parameters:
+            cells = []
+            for approach in approaches:
+                cell = next(
+                    (r for r in sub if r.parameter == parameter and r.approach == approach),
+                    None,
+                )
+                if cell is None:
+                    cells.append("-".rjust(col_width))
+                elif cell.failed:
+                    cells.append("FAILED".rjust(col_width))
+                else:
+                    cells.append(format_tps(cell.throughput_tps).rjust(col_width))
+            lines.append("  " + parameter.ljust(param_width) + " | " + " | ".join(cells))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def relative_speedups(
+    rows: Sequence[ExperimentRow], baseline: str = "FCEP"
+) -> list[tuple[str, str, str, float]]:
+    """(pattern, parameter, approach, speedup-vs-baseline) per cell."""
+    out: list[tuple[str, str, str, float]] = []
+    for row in rows:
+        if row.approach == baseline:
+            continue
+        base = next(
+            (
+                r
+                for r in rows
+                if r.approach == baseline
+                and r.pattern == row.pattern
+                and r.parameter == row.parameter
+            ),
+            None,
+        )
+        if base is None or base.throughput_tps <= 0:
+            continue
+        out.append(
+            (row.pattern, row.parameter, row.approach,
+             row.throughput_tps / base.throughput_tps)
+        )
+    return out
+
+
+def render_speedups(rows: Sequence[ExperimentRow], baseline: str = "FCEP") -> str:
+    lines = [f"speedups vs {baseline}:"]
+    for pattern, parameter, approach, factor in relative_speedups(rows, baseline):
+        lines.append(f"  {pattern:10s} {parameter:22s} {approach:12s} {factor:6.2f}x")
+    return "\n".join(lines)
+
+
+def shape_checks(rows: Sequence[ExperimentRow]) -> dict[str, bool]:
+    """Coarse who-wins assertions used by the benchmark harness.
+
+    Checks that in every (pattern, parameter) cell the best FASP variant
+    is at least as fast as FCEP — the paper's headline claim. Returns a
+    mapping cell -> ok.
+    """
+    out: dict[str, bool] = {}
+    cells = {(r.pattern, r.parameter) for r in rows}
+    for pattern, parameter in sorted(cells):
+        sub = [r for r in rows if r.pattern == pattern and r.parameter == parameter]
+        fcep = next((r for r in sub if r.approach == "FCEP"), None)
+        fasp = [r for r in sub if r.approach != "FCEP" and not r.failed]
+        if fcep is None or not fasp:
+            continue
+        best = max(r.throughput_tps for r in fasp)
+        key = f"{pattern}/{parameter}"
+        out[key] = fcep.failed or best >= fcep.throughput_tps * 0.9
+    return out
+
+
+def render_bars(rows: Sequence[ExperimentRow], title: str, width: int = 44) -> str:
+    """ASCII bar-chart rendering of a figure — the visual analog of the
+    paper's grouped bars, one group per (pattern, parameter) cell."""
+    blocks: list[str] = [f"== {title} =="]
+    peak = max((r.throughput_tps for r in rows if not r.failed), default=0.0)
+    if peak <= 0:
+        return "\n".join(blocks + ["(no data)"])
+    patterns = _ordered_unique(r.pattern for r in rows)
+    for pattern in patterns:
+        sub = [r for r in rows if r.pattern == pattern]
+        parameters = _ordered_unique(r.parameter for r in sub)
+        approaches = _ordered_unique(r.approach for r in sub)
+        label_width = max(len(a) for a in approaches)
+        blocks.append(f"  {pattern}")
+        for parameter in parameters:
+            blocks.append(f"   {parameter}")
+            for approach in approaches:
+                cell = next(
+                    (r for r in sub
+                     if r.parameter == parameter and r.approach == approach),
+                    None,
+                )
+                if cell is None:
+                    continue
+                if cell.failed:
+                    blocks.append(
+                        f"    {approach.ljust(label_width)} | (failed: memory exhausted)"
+                    )
+                    continue
+                bar = "█" * max(1, round(width * cell.throughput_tps / peak))
+                blocks.append(
+                    f"    {approach.ljust(label_width)} |{bar} "
+                    f"{format_tps(cell.throughput_tps)}"
+                )
+        blocks.append("")
+    return "\n".join(blocks)

@@ -1,0 +1,38 @@
+"""The paper's core contribution: the general CEP-to-ASP operator mapping.
+
+``translate`` turns a SEA pattern into an executable ASP dataflow via a
+logical plan (Table 1 rules), with optimizations O1 (interval joins),
+O2 (aggregation-based iterations) and O3 (equi-join partitioning).
+"""
+
+from repro.mapping.advisor import (
+    Recommendation,
+    StreamStatistics,
+    recommend_options,
+    statistics_from_streams,
+)
+from repro.mapping.multiquery import MultiQuery, translate_many
+from repro.mapping.optimizations import TranslationOptions, check_applicability
+from repro.mapping.plan import (
+    CountAggregate,
+    JoinKind,
+    LogicalPlan,
+    NseqPrepare,
+    PlanNode,
+    PostFilter,
+    SchemaAlign,
+    StreamScan,
+    UnionAll,
+    WindowJoin,
+    WindowStrategy,
+)
+from repro.mapping.rules import build_plan
+from repro.mapping.sql import render_sql
+from repro.mapping.translator import TranslatedQuery, translate
+
+__all__ = [
+    "CountAggregate", "JoinKind", "LogicalPlan", "MultiQuery", "NseqPrepare", "PlanNode", "Recommendation", "StreamStatistics",
+    "PostFilter", "SchemaAlign", "StreamScan", "TranslatedQuery",
+    "TranslationOptions", "UnionAll", "WindowJoin", "WindowStrategy",
+    "build_plan", "check_applicability", "recommend_options", "render_sql", "statistics_from_streams", "translate", "translate_many",
+]

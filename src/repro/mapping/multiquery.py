@@ -1,0 +1,152 @@
+"""Multi-query execution with shared scans — an ASP-side capability.
+
+The paper's related-work discussion (Section 6) lists missing
+*multi-query optimization* among the limitations that keep traditional
+CEP systems out of cloud deployments: a serial NFA per pattern cannot
+share work. Once patterns are mapped to ASP operators, the standard
+multi-query optimizations of the target domain apply; this module
+implements the first of them, common subexpression elimination at the
+scan level:
+
+* all patterns of a batch share one physical source node per event type;
+* identical pushed-down filter sets on the same type share one filter
+  operator (predicate trees are structural dataclasses, so equality is
+  syntactic);
+* each pattern keeps its own joins and its own sink, and the whole batch
+  runs as a single dataflow over one pass of the input.
+
+``translate_many`` returns a :class:`MultiQuery`; executing it once
+populates every pattern's sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.asp.executor import RunResult
+from repro.asp.operators.sink import CollectSink, Sink
+from repro.asp.operators.source import Source
+from repro.asp.stream import StreamEnvironment, StreamHandle
+from repro.errors import TranslationError
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.plan import LogicalPlan, StreamScan
+from repro.mapping.rules import build_plan
+from repro.mapping.translator import _Compiler
+from repro.sea.ast import Pattern
+
+
+class _SharingCompiler(_Compiler):
+    """Compiler variant that reuses identical scans across patterns."""
+
+    def __init__(self, env, sources, shared_scans: dict,
+                 shared_source_handles: dict, options=None):
+        # ``plan`` is set per pattern via :meth:`with_plan`.
+        super().__init__(env, sources, plan=None, options=options)
+        self._shared_scans = shared_scans
+        # One physical source node per event type across ALL patterns.
+        self._source_handles = shared_source_handles
+
+    def with_plan(self, plan: LogicalPlan) -> "_SharingCompiler":
+        self.plan = plan
+        return self
+
+    def _compile_scan(self, node: StreamScan) -> StreamHandle:
+        key = (node.event_type, tuple(p.render() for p in node.filters))
+        handle = self._shared_scans.get(key)
+        if handle is None:
+            handle = super()._compile_scan(node)
+            self._shared_scans[key] = handle
+        return handle
+
+
+@dataclass
+class MultiQuery:
+    """A batch of mapped queries sharing one dataflow."""
+
+    env: StreamEnvironment
+    patterns: list[Pattern]
+    plans: list[LogicalPlan]
+    sinks: list[Sink]
+    shared_scans: dict = field(default_factory=dict)
+    result: RunResult | None = None
+
+    def execute(self, **kwargs) -> RunResult:
+        """One pass over the input serves every pattern."""
+        slide = min(plan.window_slide for plan in self.plans)
+        kwargs.setdefault("watermark_interval", slide)
+        self.result = self.env.execute(**kwargs)
+        return self.result
+
+    def matches_of(self, index: int) -> list:
+        sink = self.sinks[index]
+        if not isinstance(sink, CollectSink):
+            raise TranslationError("matches_of() requires CollectSink sinks")
+        from repro.asp.datamodel import ComplexEvent
+
+        out = []
+        for item in sink.items:
+            out.append(item if isinstance(item, ComplexEvent) else ComplexEvent((item,)))
+        return out
+
+    @property
+    def num_shared_scans(self) -> int:
+        return len(self.shared_scans)
+
+    def explain(self) -> str:
+        lines = [f"MultiQuery over {len(self.patterns)} patterns, "
+                 f"{self.num_shared_scans} shared scan pipelines"]
+        for plan in self.plans:
+            lines.append(plan.explain())
+        return "\n".join(lines)
+
+
+def translate_many(
+    patterns: Sequence[Pattern],
+    sources: Mapping[str, Source],
+    options: TranslationOptions | Sequence[TranslationOptions] | None = None,
+    sinks: Sequence[Sink] | None = None,
+) -> MultiQuery:
+    """Map a batch of patterns into one shared dataflow.
+
+    ``options`` may be a single configuration applied to every pattern or
+    one per pattern. Each pattern receives its own sink (``CollectSink``
+    by default, or the caller-provided ones).
+    """
+    if not patterns:
+        raise TranslationError("translate_many requires at least one pattern")
+    if options is None or isinstance(options, TranslationOptions):
+        per_pattern = [options or TranslationOptions()] * len(patterns)
+    else:
+        per_pattern = list(options)
+        if len(per_pattern) != len(patterns):
+            raise TranslationError(
+                f"{len(patterns)} patterns but {len(per_pattern)} option sets"
+            )
+    if sinks is not None and len(sinks) != len(patterns):
+        raise TranslationError(f"{len(patterns)} patterns but {len(sinks)} sinks")
+
+    env = StreamEnvironment(name=f"multi-query[{len(patterns)}]")
+    shared_scans: dict = {}
+    shared_source_handles: dict = {}
+    plans: list[LogicalPlan] = []
+    attached: list[Sink] = []
+    for index, (pattern, opts) in enumerate(zip(patterns, per_pattern)):
+        plan = build_plan(pattern, opts)
+        plans.append(plan)
+        compiler = _SharingCompiler(
+            env, sources, shared_scans, shared_source_handles, opts
+        ).with_plan(plan)
+        output = compiler.compile(plan.root)
+        sink = sinks[index] if sinks is not None else CollectSink(
+            name=f"sink[{pattern.name}]"
+        )
+        output.sink(sink)
+        attached.append(sink)
+    return MultiQuery(
+        env=env,
+        patterns=list(patterns),
+        plans=plans,
+        sinks=attached,
+        shared_scans=shared_scans,
+    )

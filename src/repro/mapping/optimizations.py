@@ -1,0 +1,155 @@
+"""Optimization opportunities O1–O3 (paper Section 4.3, Table 1).
+
+* **O1 — Interval Joins** (:attr:`TranslationOptions.join_strategy` =
+  ``INTERVAL``): content-based windows anchored on left-side events;
+  no slide parameter, no duplicates; wins when the left stream is the
+  sparse one.
+* **O2 — Aggregations for iterations**
+  (:attr:`TranslationOptions.iteration_strategy` = ``"aggregate"``):
+  replaces the m-way self-join with a windowed count + threshold;
+  approximate (one output per window); enables the Kleene+ variation;
+  cannot express Kleene* (empty windows never fire).
+* **O3 — Equi-Join partitioning**
+  (:attr:`TranslationOptions.partition_attribute` or auto-detected
+  equi predicates): turns joins into key-partitionable Equi Joins,
+  unlocking parallel execution on the simulated cluster.
+
+The options compose (the paper evaluates O1+O3 and O2+O3 in Figures 4–6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import OptimizationError
+from repro.mapping.plan import WindowStrategy
+from repro.sea.ast import Iteration, Pattern
+from repro.sea.predicates import classify_conjuncts
+
+
+@dataclass(frozen=True)
+class TranslationOptions:
+    """Knobs of the CEP-to-ASP translator.
+
+    The defaults produce the plain FASP mapping of the paper's baseline
+    evaluation (sliding window joins, join-based iterations, no
+    partitioning).
+    """
+
+    #: Physical windowing of joins; ``INTERVAL`` enables O1.
+    join_strategy: WindowStrategy = WindowStrategy.SLIDING
+    #: ``"join"`` (Table 1 default) or ``"aggregate"`` (O2).
+    iteration_strategy: str = "join"
+    #: Attribute shared by all events used as Equi-Join key (O3). The
+    #: paper keys by the sensor ``id``.
+    partition_attribute: str | None = None
+    #: Additionally honour explicit WHERE equalities like ``a.id = b.id``
+    #: as join keys instead of post-join theta predicates.
+    auto_equi_keys: bool = True
+    #: Reorder commutative operands so low-frequency streams drive
+    #: interval-join window creation (Section 5.2.3 discussion). Requires
+    #: a type registry with frequency metadata.
+    reorder_by_frequency: bool = False
+    #: Override the pattern's slide (experiments use 1 minute throughout).
+    slide_override: int | None = None
+    #: Let sliding window joins emit raw duplicates (Section 3.1.4 study).
+    emit_duplicates: bool = False
+    #: Compose flat SEQ(n)/AND(n) patterns with a single n-ary window
+    #: join (the Beam capability of Section 4.2.2) instead of n-1
+    #: consecutive binary joins.
+    use_multiway_joins: bool = False
+
+    def __post_init__(self) -> None:
+        if self.iteration_strategy not in ("join", "aggregate"):
+            raise OptimizationError(
+                f"unknown iteration strategy '{self.iteration_strategy}'"
+            )
+
+    # -- named configurations matching the paper's evaluation labels ------
+
+    @staticmethod
+    def fasp() -> "TranslationOptions":
+        """Plain mapping (paper label: FASP)."""
+        return TranslationOptions()
+
+    @staticmethod
+    def o1() -> "TranslationOptions":
+        """Interval joins (paper label: FASP-O1)."""
+        return TranslationOptions(join_strategy=WindowStrategy.INTERVAL)
+
+    @staticmethod
+    def o2() -> "TranslationOptions":
+        """Aggregation-based iterations (paper label: FASP-O2)."""
+        return TranslationOptions(iteration_strategy="aggregate")
+
+    @staticmethod
+    def o3(partition_attribute: str = "id") -> "TranslationOptions":
+        """Equi-join key partitioning (paper label: FASP-O3)."""
+        return TranslationOptions(partition_attribute=partition_attribute)
+
+    @staticmethod
+    def o1_o3(partition_attribute: str = "id") -> "TranslationOptions":
+        return TranslationOptions(
+            join_strategy=WindowStrategy.INTERVAL,
+            partition_attribute=partition_attribute,
+        )
+
+    @staticmethod
+    def o2_o3(partition_attribute: str = "id") -> "TranslationOptions":
+        return TranslationOptions(
+            iteration_strategy="aggregate",
+            partition_attribute=partition_attribute,
+        )
+
+    def label(self) -> str:
+        """Evaluation label matching the paper's figure legends."""
+        applied = []
+        if self.join_strategy is WindowStrategy.INTERVAL:
+            applied.append("O1")
+        if self.iteration_strategy == "aggregate":
+            applied.append("O2")
+        if self.partition_attribute is not None:
+            applied.append("O3")
+        return "FASP" if not applied else "FASP-" + "+".join(applied)
+
+    def with_slide(self, slide: int) -> "TranslationOptions":
+        return replace(self, slide_override=slide)
+
+
+def check_applicability(pattern: Pattern, options: TranslationOptions) -> list[str]:
+    """Validate option/pattern combinations; returns advisory notes.
+
+    Raises :class:`OptimizationError` for combinations the paper rules
+    out; returns human-readable notes for soft adjustments (recorded in
+    the plan for reporting).
+    """
+    notes: list[str] = []
+    root = pattern.root
+
+    if options.iteration_strategy == "aggregate":
+        iterations = [n for n in root.walk() if isinstance(n, Iteration)]
+        if not iterations:
+            notes.append("O2 requested but the pattern has no iteration; ignored")
+        for node in iterations:
+            if node.condition_kind == "consecutive":
+                notes.append(
+                    "O2 with an inter-event condition uses the sorted-window "
+                    "UDF variant (approximate, Section 4.3.2)"
+                )
+
+    if options.partition_attribute is None and options.auto_equi_keys:
+        _single, equi, _multi = classify_conjuncts(pattern.where)
+        if equi:
+            notes.append(
+                "equi predicates detected; joins partition by "
+                + ", ".join(c.render() for c in equi)
+            )
+
+    for node in root.walk():
+        if isinstance(node, Iteration) and node.minimum_occurrences:
+            if options.iteration_strategy != "aggregate":
+                notes.append(
+                    "unbounded iteration (Kleene+) requires O2; switching the "
+                    "iteration strategy to 'aggregate' (Section 4.3.2)"
+                )
+    return notes

@@ -1,0 +1,427 @@
+"""Plan-to-dataflow compiler: the executable half of the mapping.
+
+``translate`` takes a SEA pattern, builds its logical plan (Table 1
+rules) and compiles the plan into a physical dataflow on the
+:mod:`repro.asp` engine — filters push down to per-type scans, joins
+become :class:`SlidingWindowJoin`/:class:`IntervalJoin` operators, O2
+iterations become window aggregations, and NSEQ becomes the
+union + next-occurrence UDF + ordered join of Listing 6.
+
+The result is a :class:`TranslatedQuery`: attach a sink, execute, and
+compare against FCEP on identical sources (the paper's methodology).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.asp.datamodel import ComplexEvent, Event, TypeRegistry
+from repro.asp.executor import RunResult
+from repro.asp.operators.base import Item, constituents
+from repro.asp.operators.sink import CollectSink, Sink
+from repro.asp.operators.source import Source
+from repro.asp.operators.window import IntervalBounds, WindowSpec
+from repro.asp.stream import StreamEnvironment, StreamHandle
+from repro.errors import TranslationError
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.plan import (
+    CountAggregate,
+    LogicalPlan,
+    MultiWayJoin,
+    NseqPrepare,
+    PlanNode,
+    PostFilter,
+    SchemaAlign,
+    StreamScan,
+    UnionAll,
+    WindowJoin,
+    WindowStrategy,
+)
+from repro.mapping.rules import build_plan
+from repro.sea.ast import Pattern
+from repro.sea.predicates import Predicate
+
+
+def _binding_of(aliases: tuple[str, ...], events: tuple[Event, ...]) -> dict[str, Event]:
+    return dict(zip(aliases, events))
+
+
+def _make_theta(join: WindowJoin) -> Callable[[Item, Item], bool] | None:
+    """Compile a join's ordering + predicate constraints into a callable."""
+    left_aliases = join.left.aliases
+    right_aliases = join.right.aliases
+    conjuncts = join.extra_theta
+    ordered = join.ordered
+    condition = join.consecutive_condition
+    if not ordered and not conjuncts and condition is None:
+        return None
+
+    def theta(left: Item, right: Item) -> bool:
+        if ordered:
+            # max/min event time without materializing constituents:
+            # ComplexEvent tracks ts_e/ts_b, a bare Event is its own both.
+            left_max = left.ts_e if isinstance(left, ComplexEvent) else left.ts
+            right_min = right.ts_b if isinstance(right, ComplexEvent) else right.ts
+            if left_max >= right_min:
+                return False
+        if condition is not None:
+            left_last = left.events[-1] if isinstance(left, ComplexEvent) else left
+            right_first = right.events[0] if isinstance(right, ComplexEvent) else right
+            if not condition(left_last, right_first):
+                return False
+        if conjuncts:
+            binding = _binding_of(left_aliases, constituents(left))
+            binding.update(_binding_of(right_aliases, constituents(right)))
+            for pred in conjuncts:
+                if not pred.evaluate(binding):
+                    return False
+        return True
+
+    return theta
+
+
+def _make_key_fn(
+    side_aliases: tuple[str, ...],
+    keys: tuple[tuple[str, str], ...],
+) -> Callable[[Item], Any]:
+    """Key extractor for one join side: tuple of (alias, attr) values."""
+    positions = []
+    for alias, attribute in keys:
+        try:
+            positions.append((side_aliases.index(alias), attribute))
+        except ValueError:
+            raise TranslationError(
+                f"equi key references alias '{alias}' missing from side {side_aliases}"
+            ) from None
+
+    if len(positions) == 1:
+        idx, attribute = positions[0]
+
+        def single_key(item: Item) -> Any:
+            return constituents(item)[idx][attribute]
+
+        return single_key
+
+    def multi_key(item: Item) -> Any:
+        events = constituents(item)
+        return tuple(events[idx][attribute] for idx, attribute in positions)
+
+    return multi_key
+
+
+class _Compiler:
+    def __init__(
+        self,
+        env: StreamEnvironment,
+        sources: Mapping[str, Source],
+        plan: LogicalPlan,
+        options: TranslationOptions | None = None,
+    ):
+        self.env = env
+        self.sources = sources
+        self.plan = plan
+        self.options = options or TranslationOptions()
+        self._source_handles: dict[str, StreamHandle] = {}
+
+    def _source_handle(self, event_type: str) -> StreamHandle:
+        handle = self._source_handles.get(event_type)
+        if handle is None:
+            try:
+                source = self.sources[event_type]
+            except KeyError:
+                raise TranslationError(
+                    f"no source provided for event type '{event_type}'"
+                ) from None
+            handle = self.env.add_source(source)
+            if source.event_type != event_type:
+                # Shared physical stream: route by type first.
+                handle = handle.filter_type(event_type)
+            self._source_handles[event_type] = handle
+        return handle
+
+    def compile(self, node: PlanNode) -> StreamHandle:
+        if isinstance(node, StreamScan):
+            return self._compile_scan(node)
+        if isinstance(node, SchemaAlign):
+            # All paper streams share the sensor schema, so alignment is
+            # an annotation: the unified stream name is recorded without
+            # rewriting the event (which must stay identical for match
+            # equivalence). Heterogeneous schemas would add renames here.
+            target = node.target_type
+            return self.compile(node.input).map(
+                lambda e, _t=target: e.with_attrs(unified_type=_t)
+                if isinstance(e, Event)
+                else e,
+                name=f"align[{target}]",
+            )
+        if isinstance(node, UnionAll):
+            first, *rest = [self.compile(part) for part in node.parts]
+            return first.union(*rest)
+        if isinstance(node, WindowJoin):
+            return self._compile_join(node)
+        if isinstance(node, MultiWayJoin):
+            return self._compile_multiway(node)
+        if isinstance(node, CountAggregate):
+            return self._compile_aggregate(node)
+        if isinstance(node, NseqPrepare):
+            return self._compile_nseq_prepare(node)
+        if isinstance(node, PostFilter):
+            return self._compile_post_filter(node)
+        raise TranslationError(f"cannot compile plan node {node.label()}")
+
+    def _compile_scan(self, node: StreamScan) -> StreamHandle:
+        handle = self._source_handle(node.event_type)
+        if node.filters:
+            filters = node.filters
+            default_alias = node.alias
+
+            def check(event: Item) -> bool:
+                # Each pushed-down conjunct references exactly one alias —
+                # possibly a bare iteration alias differing from the
+                # indexed scan alias — so bind per conjunct.
+                for pred in filters:
+                    alias = next(iter(pred.aliases()), default_alias)
+                    if not pred.evaluate({alias: event}):
+                        return False
+                return True
+
+            handle = handle.filter(check, name=f"filter[{node.alias}]")
+        return handle
+
+    def _compile_join(self, node: WindowJoin) -> StreamHandle:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        theta = _make_theta(node)
+        keys = None
+        if node.equi_keys:
+            left_keys = tuple(lk for lk, _rk in node.equi_keys)
+            right_keys = tuple(rk for _lk, rk in node.equi_keys)
+            keys = (
+                _make_key_fn(node.left.aliases, left_keys),
+                _make_key_fn(node.right.aliases, right_keys),
+            )
+        emit_ts = "min" if node.emit_ts == "min" else "max"
+        if node.strategy is WindowStrategy.INTERVAL:
+            bounds = (
+                IntervalBounds.sequence(node.window_size)
+                if node.ordered
+                else IntervalBounds.conjunction(node.window_size)
+            )
+            return left.interval_join(
+                right, bounds=bounds, theta=theta, keys=keys, emit_ts=emit_ts
+            )
+        window = WindowSpec(size=node.window_size, slide=node.window_slide)
+        return left.window_join(
+            right,
+            window=window,
+            theta=theta,
+            keys=keys,
+            emit_ts=emit_ts,
+            emit_duplicates=self.options.emit_duplicates,
+        )
+
+    def _compile_multiway(self, node: MultiWayJoin) -> StreamHandle:
+        from repro.asp.operators.multiway import MultiWayWindowJoin
+
+        handles = [self._compile_scan(scan) for scan in node.parts]
+        aliases = node.aliases
+        conjuncts = node.extra_theta
+
+        theta = None
+        if conjuncts:
+            def theta(events, _aliases=aliases, _conjuncts=conjuncts):
+                binding = dict(zip(_aliases, events))
+                return all(p.evaluate(binding) for p in _conjuncts)
+
+        key_fn = None
+        if node.key_attribute is not None:
+            attribute = node.key_attribute
+
+            def key_fn(item: Item, _attr: str = attribute) -> Any:
+                return item[_attr] if isinstance(item, Event) else item.events[0][_attr]
+
+        operator = MultiWayWindowJoin(
+            arity=len(node.parts),
+            window=WindowSpec(size=node.window_size, slide=node.window_slide),
+            ordered=node.ordered,
+            theta=theta,
+            key_fn=key_fn,
+        )
+        join_node = self.env.flow.add_operator(operator)
+        for port, handle in enumerate(handles):
+            self.env.flow.connect(handle._node_id, join_node, port=port)
+        return StreamHandle(self.env, join_node)
+
+    def _compile_aggregate(self, node: CountAggregate) -> StreamHandle:
+        source = self.compile(node.input)
+        window = WindowSpec(size=node.window_size, slide=node.window_slide)
+        key_fn = None
+        if node.key_attribute is not None:
+            attribute = node.key_attribute
+
+            def key_fn(item: Item, _attr: str = attribute) -> Any:
+                return item[_attr] if isinstance(item, Event) else item.events[0][_attr]
+
+        alias = node.input.aliases[0]
+        output_type = f"ITER[{alias}]"
+        if node.flavour == "udf" and node.condition is not None:
+            condition = node.condition
+            minimum = node.minimum
+            event_type = (
+                node.input.event_type if isinstance(node.input, StreamScan) else alias
+            )
+
+            def run_udf(pairs):
+                """Longest run satisfying the inter-event condition; emit
+                its length when it reaches the threshold (approximate O2
+                variant, Section 4.3.2)."""
+                if not pairs:
+                    return []
+                best = run = 1
+                prev = Event(event_type, ts=pairs[0][0], value=pairs[0][1])
+                for ts, value in pairs[1:]:
+                    cur = Event(event_type, ts=ts, value=value)
+                    run = run + 1 if condition(prev, cur) else 1
+                    prev = cur
+                    if run > best:
+                        best = run
+                return [float(best)] if best >= minimum else []
+
+            return source.window_udf(
+                window, run_udf, key_fn=key_fn, output_type=output_type
+            )
+        aggregated = source.window_aggregate(
+            window, function="count", key_fn=key_fn, output_type=output_type
+        )
+        minimum = node.minimum
+        return aggregated.filter(
+            lambda item: item.value >= minimum, name=f"count>={minimum}"
+        )
+
+    def _compile_nseq_prepare(self, node: NseqPrepare) -> StreamHandle:
+        first = self._compile_scan(node.first)
+        negated = self._compile_scan(node.negated)
+        unioned = first.union(negated)
+        return unioned.next_occurrence(
+            positive_type=node.first.event_type,
+            negated_type=node.negated.event_type,
+            window_size=node.window_size,
+            keyed=node.keyed,
+        )
+
+    def _compile_post_filter(self, node: PostFilter) -> StreamHandle:
+        source = self.compile(node.input)
+        aliases = node.input.aliases
+        predicates: tuple[Predicate, ...] = node.predicates
+
+        def check(item: Item) -> bool:
+            events = constituents(item)
+            binding = _binding_of(aliases, events)
+            return all(p.evaluate(binding) for p in predicates)
+
+        return source.filter(check, name="post-filter")
+
+
+class TranslatedQuery:
+    """An executable mapped query: dataflow + plan + result access."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        plan: LogicalPlan,
+        env: StreamEnvironment,
+        output: StreamHandle,
+    ):
+        self.pattern = pattern
+        self.plan = plan
+        self.env = env
+        self.output = output
+        self.sink: Sink | None = None
+
+    def attach_sink(self, sink: Sink | None = None) -> Sink:
+        self.sink = self.output.sink(sink)
+        return self.sink
+
+    def execute(
+        self,
+        memory_budget_bytes: int | None = None,
+        watermark_interval: int | None = None,
+        sample_every: int = 1_000,
+        max_out_of_orderness: int = 0,
+    ) -> RunResult:
+        if self.sink is None:
+            self.attach_sink(CollectSink())
+        interval = watermark_interval or self.plan.window_slide
+        return self.env.execute(
+            memory_budget_bytes=memory_budget_bytes,
+            watermark_interval=interval,
+            sample_every=sample_every,
+            max_out_of_orderness=max_out_of_orderness,
+        )
+
+    def matches(self) -> list[ComplexEvent]:
+        if not isinstance(self.sink, CollectSink):
+            raise TranslationError("matches() requires a CollectSink")
+        out: list[ComplexEvent] = []
+        for item in self.sink.items:
+            if isinstance(item, ComplexEvent):
+                out.append(item)
+            else:
+                # Single-event matches (disjunction, O2 aggregates).
+                out.append(ComplexEvent((item,)))
+        return out
+
+    def projected_matches(self) -> list[dict[str, Any]]:
+        """Matches with the pattern's RETURN clause applied.
+
+        ``RETURN *`` (the default) concatenates every attribute of every
+        participating event, prefixed with its alias (the paper's default
+        output definition); an explicit projection list returns exactly
+        those ``alias.attribute`` entries. Aggregate outputs (O2) expose
+        their synthetic event under the plan's output alias.
+        """
+        aliases = self.plan.root.aliases
+        returns = self.pattern.returns
+        out: list[dict[str, Any]] = []
+        for match in self.matches():
+            binding = dict(zip(aliases, match.events))
+            if returns.is_star:
+                row: dict[str, Any] = {}
+                for alias, event in binding.items():
+                    for attr_name, value in event.as_dict().items():
+                        row[f"{alias}.{attr_name}"] = value
+            else:
+                row = {}
+                for item in returns.projection:
+                    alias, _, attr_name = item.partition(".")
+                    if not attr_name:
+                        raise TranslationError(
+                            f"RETURN entry {item!r} must be alias.attribute"
+                        )
+                    if alias not in binding:
+                        raise TranslationError(
+                            f"RETURN references unknown alias '{alias}' "
+                            f"(available: {list(binding)})"
+                        )
+                    row[item] = binding[alias][attr_name]
+            row["ts_b"], row["ts_e"] = match.ts_b, match.ts_e
+            out.append(row)
+        return out
+
+    def explain(self) -> str:
+        return self.plan.explain() + "\n\n" + self.env.explain()
+
+
+def translate(
+    pattern: Pattern,
+    sources: Mapping[str, Source],
+    options: TranslationOptions | None = None,
+    registry: TypeRegistry | None = None,
+) -> TranslatedQuery:
+    """Map a CEP pattern onto an executable ASP dataflow (Section 4)."""
+    options = options or TranslationOptions()
+    plan = build_plan(pattern, options, registry=registry)
+    env = StreamEnvironment(name=f"{pattern.name}[{options.label()}]")
+    compiler = _Compiler(env, sources, plan, options)
+    output = compiler.compile(plan.root)
+    return TranslatedQuery(pattern, plan, env, output)

@@ -1,0 +1,195 @@
+"""Pattern catalog: the paper's motivating IoT scenarios, ready to run.
+
+The paper's introduction motivates CEP with traffic congestion
+monitoring, smart street lighting, and vehicle pollution control
+(Section 1, after [11, 41, 78]). This module ships those scenarios as
+parameterized, documented patterns over the library's sensor schema, so
+downstream users start from working detectors instead of a blank PSL.
+
+Every factory returns a validated :class:`~repro.sea.ast.Pattern`; pair
+it with :func:`repro.translate` (and optionally
+:func:`repro.mapping.advisor.recommend_options`) to execute.
+"""
+
+from __future__ import annotations
+
+from repro.sea.ast import Pattern
+from repro.sea.parser import parse_pattern
+from repro.workloads.airquality import threshold_for_selectivity
+from repro.workloads.qnv import (
+    quantity_threshold_for_selectivity,
+    velocity_threshold_for_selectivity,
+)
+
+
+def traffic_congestion(
+    quantity_threshold: float = 80.0,
+    velocity_threshold: float = 30.0,
+    window_minutes: int = 15,
+    per_segment: bool = True,
+) -> Pattern:
+    """Congestion onset: a vehicle-count spike followed by a speed drop.
+
+    ``per_segment=True`` adds the segment-id equality — both the sensible
+    semantics and the key-match constraint that unlocks O3 partitioning.
+    """
+    key_clause = " AND q1.id = v1.id" if per_segment else ""
+    return parse_pattern(
+        f"""
+        PATTERN SEQ(Q q1, V v1)
+        WHERE q1.value > {quantity_threshold} AND v1.value < {velocity_threshold}{key_clause}
+        WITHIN {window_minutes} MINUTES SLIDE 1 MINUTE
+        """,
+        name="traffic-congestion",
+    )
+
+
+def congestion_cleared(
+    velocity_low: float = 25.0,
+    velocity_recovered: float = 70.0,
+    window_minutes: int = 30,
+) -> Pattern:
+    """Recovery: slow traffic followed by free flow with no new slowdown
+    in between (a negated sequence — requires the mapping or FlinkCEP's
+    notFollowedBy)."""
+    return parse_pattern(
+        f"""
+        PATTERN SEQ(V slow, !Q surge, V fast)
+        WHERE slow.value < {velocity_low} AND fast.value > {velocity_recovered}
+          AND surge.value > 90 AND slow.id = fast.id
+        WITHIN {window_minutes} MINUTES SLIDE 1 MINUTE
+        """,
+        name="congestion-cleared",
+    )
+
+
+def street_lighting_demand(
+    quantity_threshold: float | None = None,
+    occurrences: int = 3,
+    window_minutes: int = 10,
+) -> Pattern:
+    """Smart street lighting: sustained traffic presence dims-up a zone.
+
+    An iteration — ``occurrences`` vehicle-count readings above the
+    threshold within the window (exact occurrence count per SEA; pair
+    with O2 for the efficient aggregate form).
+    """
+    threshold = (
+        quantity_threshold
+        if quantity_threshold is not None
+        else quantity_threshold_for_selectivity(0.3)
+    )
+    return parse_pattern(
+        f"""
+        PATTERN ITER{occurrences}(Q q)
+        WHERE q.value > {threshold}
+        WITHIN {window_minutes} MINUTES SLIDE 1 MINUTE
+        """,
+        name="street-lighting-demand",
+    )
+
+
+def street_lighting_idle(
+    velocity_free_flow: float = 90.0,
+    occurrences: int = 5,
+    window_minutes: int = 20,
+) -> Pattern:
+    """Dim-down: a sustained run of free-flow readings (Kleene+ via O2)."""
+    return parse_pattern(
+        f"""
+        PATTERN ITER{occurrences}+(V v)
+        WHERE v.value > {velocity_free_flow}
+        WITHIN {window_minutes} MINUTES SLIDE 1 MINUTE
+        """,
+        name="street-lighting-idle",
+    )
+
+
+def vehicle_pollution_alert(
+    quantity_threshold: float | None = None,
+    pm_selectivity: float = 0.1,
+    window_minutes: int = 30,
+) -> Pattern:
+    """Vehicle pollution control: heavy traffic followed by a particulate
+    spike at the same location cluster — a cross-domain sequence joining
+    the traffic and air-quality streams."""
+    q_threshold = (
+        quantity_threshold
+        if quantity_threshold is not None
+        else quantity_threshold_for_selectivity(0.2)
+    )
+    pm_threshold = threshold_for_selectivity("PM10", pm_selectivity, above=True)
+    return parse_pattern(
+        f"""
+        PATTERN SEQ(Q q1, PM10 p1)
+        WHERE q1.value > {q_threshold} AND p1.value > {pm_threshold}
+        WITHIN {window_minutes} MINUTES SLIDE 1 MINUTE
+        """,
+        name="vehicle-pollution-alert",
+    )
+
+
+def pollution_any_particulate(
+    pm10_selectivity: float = 0.05, pm2_selectivity: float = 0.05,
+    window_minutes: int = 30,
+) -> Pattern:
+    """Either particulate stream spikes (disjunction — not expressible in
+    FlinkCEP, paper Table 2)."""
+    pm10 = threshold_for_selectivity("PM10", pm10_selectivity, above=True)
+    pm2 = threshold_for_selectivity("PM2", pm2_selectivity, above=True)
+    return parse_pattern(
+        f"""
+        PATTERN OR(PM10 a, PM2 b)
+        WHERE a.value > {pm10} AND b.value > {pm2}
+        WITHIN {window_minutes} MINUTES SLIDE 1 MINUTE
+        """,
+        name="pollution-any-particulate",
+    )
+
+
+def stalled_traffic(
+    velocity_threshold: float | None = None,
+    occurrences: int = 4,
+    window_minutes: int = 20,
+) -> Pattern:
+    """Stand-still detection: repeated near-zero speed readings with
+    strictly decreasing values (inter-event condition workload)."""
+    threshold = (
+        velocity_threshold
+        if velocity_threshold is not None
+        else velocity_threshold_for_selectivity(0.1)
+    )
+    key_chain = " AND ".join(
+        f"v[{i}].id = v[{i + 1}].id" for i in range(1, occurrences)
+    )
+    return parse_pattern(
+        f"""
+        PATTERN ITER{occurrences}(V v)
+        WHERE v.value < {threshold} AND {key_chain}
+        WITHIN {window_minutes} MINUTES SLIDE 1 MINUTE
+        """,
+        name="stalled-traffic",
+    )
+
+
+#: Every catalog entry, for discovery and batch registration.
+CATALOG = {
+    "traffic-congestion": traffic_congestion,
+    "congestion-cleared": congestion_cleared,
+    "street-lighting-demand": street_lighting_demand,
+    "street-lighting-idle": street_lighting_idle,
+    "vehicle-pollution-alert": vehicle_pollution_alert,
+    "pollution-any-particulate": pollution_any_particulate,
+    "stalled-traffic": stalled_traffic,
+}
+
+
+def catalog_pattern(name: str, **kwargs) -> Pattern:
+    """Instantiate a catalog pattern by name."""
+    try:
+        factory = CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown catalog pattern '{name}'; available: {sorted(CATALOG)}"
+        ) from None
+    return factory(**kwargs)

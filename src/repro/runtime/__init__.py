@@ -1,0 +1,33 @@
+"""Execution environment simulation (substrate 3): metrics, the simulated
+multi-worker cluster, and the FCEP-vs-FASP measurement harness."""
+
+from repro.runtime.cluster import (
+    ClusterConfig,
+    ClusterRunResult,
+    SlotResult,
+    partition_streams,
+    run_on_cluster,
+)
+from repro.runtime.harness import (
+    run_fasp,
+    run_fasp_on_cluster,
+    run_fcep,
+    run_fcep_on_cluster,
+)
+from repro.runtime.ratesim import PipelineModel, Station, compare_under_load
+from repro.runtime.metrics import (
+    ResourceSample,
+    ThroughputMeasurement,
+    cpu_proxy_series,
+    format_bytes,
+    format_tps,
+    resource_series,
+    speedup,
+)
+
+__all__ = [
+    "ClusterConfig", "ClusterRunResult", "PipelineModel", "ResourceSample", "SlotResult", "Station", "compare_under_load",
+    "ThroughputMeasurement", "cpu_proxy_series", "format_bytes", "format_tps",
+    "partition_streams", "resource_series", "run_fasp", "run_fasp_on_cluster",
+    "run_fcep", "run_fcep_on_cluster", "run_on_cluster", "speedup",
+]

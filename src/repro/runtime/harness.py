@@ -1,0 +1,178 @@
+"""Experiment harness: run one pattern as FCEP or FASP on shared sources.
+
+This is the paper's comparison methodology (Section 5.1.2) in library
+form: identical source and sink functions for every pattern-query pair,
+the FCEP side as union-of-streams + unary NFA operator, the FASP side as
+the mapped multi-operator query, measured on the same executor.
+
+Every run returns a :class:`ThroughputMeasurement`; cluster variants
+partition the key space as described in :mod:`repro.runtime.cluster`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.asp.datamodel import Event
+from repro.asp.executor import RunResult
+from repro.asp.operators.sink import CollectSink, DiscardSink, Sink
+from repro.asp.operators.source import ListSource
+from repro.asp.stream import StreamEnvironment
+from repro.cep.operator import CepOperator
+from repro.cep.pattern_api import from_sea_pattern
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.translator import translate
+from repro.runtime.cluster import ClusterConfig, ClusterRunResult, run_on_cluster
+from repro.runtime.metrics import ThroughputMeasurement
+from repro.sea.ast import Pattern
+
+Streams = Mapping[str, Sequence[Event]]
+
+
+def _sources_of(streams: Streams) -> dict[str, ListSource]:
+    return {
+        name: ListSource(list(events), name=f"src[{name}]", event_type=name)
+        for name, events in streams.items()
+    }
+
+
+#: Target number of watermark broadcasts per run. Flink emits watermarks
+#: on a processing-time cadence (200 ms default), so a high-throughput
+#: run sees few watermarks relative to events; firing one per event-time
+#: slide would grossly overstate windowing overhead.
+_WATERMARK_BROADCASTS = 256
+
+
+def _watermark_interval(pattern: Pattern, streams: Streams) -> int:
+    span = 0
+    for events in streams.values():
+        if events:
+            span = max(span, events[-1].ts - events[0].ts)
+    return max(pattern.window.slide, span // _WATERMARK_BROADCASTS)
+
+
+def run_fcep(
+    pattern: Pattern,
+    streams: Streams,
+    key_attribute: str | None = None,
+    memory_budget_bytes: int | None = None,
+    collect: bool = False,
+    sample_every: int = 1_000,
+    sink: Sink | None = None,
+) -> tuple[ThroughputMeasurement, Sink, RunResult]:
+    """Run the pattern FlinkCEP-style: union all streams into one unary
+    CEP operator (Section 5.1.2)."""
+    cep_pattern = from_sea_pattern(pattern)
+    env = StreamEnvironment(name=f"{pattern.name}[FCEP]")
+    handles = [env.add_source(src) for src in _sources_of(streams).values()]
+    unioned = handles[0] if len(handles) == 1 else handles[0].union(*handles[1:])
+    key_fn = None
+    if key_attribute is not None:
+        attribute = key_attribute
+
+        def key_fn(event: Event, _attr: str = attribute):
+            return event[_attr]
+
+    cep_handle = unioned.transform(CepOperator(cep_pattern, key_fn=key_fn))
+    if sink is None:
+        sink = CollectSink() if collect else DiscardSink()
+    sink = cep_handle.sink(sink)
+    result = env.execute(
+        memory_budget_bytes=memory_budget_bytes,
+        watermark_interval=_watermark_interval(pattern, streams),
+        sample_every=sample_every,
+    )
+    measurement = ThroughputMeasurement.from_run(
+        "FCEP", pattern.name, result, matches=sink.count
+    )
+    return measurement, sink, result
+
+
+def run_fasp(
+    pattern: Pattern,
+    streams: Streams,
+    options: TranslationOptions | None = None,
+    memory_budget_bytes: int | None = None,
+    collect: bool = False,
+    sample_every: int = 1_000,
+    sink: Sink | None = None,
+) -> tuple[ThroughputMeasurement, Sink, RunResult]:
+    """Run the pattern through the CEP-to-ASP mapping."""
+    options = options or TranslationOptions()
+    query = translate(pattern, _sources_of(streams), options)
+    if sink is None:
+        sink = CollectSink() if collect else DiscardSink()
+    sink = query.attach_sink(sink)
+    result = query.execute(
+        memory_budget_bytes=memory_budget_bytes,
+        watermark_interval=_watermark_interval(pattern, streams),
+        sample_every=sample_every,
+    )
+    measurement = ThroughputMeasurement.from_run(
+        options.label(), pattern.name, result, matches=sink.count
+    )
+    return measurement, sink, result
+
+
+def run_fcep_on_cluster(
+    pattern: Pattern,
+    streams: Streams,
+    config: ClusterConfig,
+    key_attribute: str = "id",
+) -> tuple[ThroughputMeasurement, ClusterRunResult]:
+    """FCEP with key partitioning over the simulated cluster."""
+
+    def job(slot_streams: Streams, budget: int | None) -> tuple[RunResult, int]:
+        measurement, sink, result = run_fcep(
+            pattern,
+            slot_streams,
+            key_attribute=key_attribute,
+            memory_budget_bytes=budget,
+        )
+        return result, sink.count
+
+    outcome = run_on_cluster(streams, job, config)
+    measurement = _cluster_measurement("FCEP", pattern, outcome)
+    return measurement, outcome
+
+
+def run_fasp_on_cluster(
+    pattern: Pattern,
+    streams: Streams,
+    config: ClusterConfig,
+    options: TranslationOptions | None = None,
+) -> tuple[ThroughputMeasurement, ClusterRunResult]:
+    """Mapped query with key partitioning over the simulated cluster."""
+    options = options or TranslationOptions()
+
+    def job(slot_streams: Streams, budget: int | None) -> tuple[RunResult, int]:
+        _measurement, sink, result = run_fasp(
+            pattern, slot_streams, options, memory_budget_bytes=budget
+        )
+        return result, sink.count
+
+    outcome = run_on_cluster(streams, job, config)
+    measurement = _cluster_measurement(options.label(), pattern, outcome)
+    return measurement, outcome
+
+
+def _cluster_measurement(
+    label: str, pattern: Pattern, outcome: ClusterRunResult
+) -> ThroughputMeasurement:
+    return ThroughputMeasurement(
+        label=label,
+        pattern=pattern.name,
+        events_in=outcome.events_in,
+        matches=outcome.matches,
+        wall_seconds=outcome.makespan_seconds,
+        throughput_tps=outcome.throughput_tps,
+        peak_state_bytes=outcome.peak_state_bytes,
+        work_units=sum(s.result.work_units for s in outcome.slots),
+        failed=outcome.failed,
+        failure=outcome.failure,
+        extras={
+            "workers": outcome.config.num_workers,
+            "slots": outcome.config.total_slots,
+            "skew": outcome.skew(),
+        },
+    )

@@ -1,0 +1,59 @@
+"""Simple Event Algebra (SEA) — the paper's formal CEP operator layer.
+
+Provides the pattern AST (Section 3 operators), predicate trees, the
+SASE+-style declarative parser, well-formedness validation, and the
+brute-force executable reference semantics used as correctness oracle.
+"""
+
+from repro.sea.ast import (
+    Conjunction,
+    Disjunction,
+    EventTypeRef,
+    Iteration,
+    NegatedSequence,
+    Pattern,
+    PatternNode,
+    ReturnClause,
+    Sequence,
+    conj,
+    disj,
+    iteration,
+    nseq,
+    ref,
+    seq,
+)
+from repro.sea.parser import parse_pattern
+from repro.sea.predicates import (
+    And,
+    Arith,
+    Attr,
+    Compare,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    attr,
+    classify_conjuncts,
+    cmp,
+    conjunction_of,
+    const,
+)
+from repro.sea.semantics import evaluate_pattern, evaluate_window, match_set
+from repro.sea.validation import (
+    contains_operator,
+    normalize,
+    normalize_pattern,
+    pattern_length,
+    validate_pattern,
+)
+
+__all__ = [
+    "And", "Arith", "Attr", "Compare", "Conjunction", "Const", "Disjunction",
+    "EventTypeRef", "Iteration", "NegatedSequence", "Not", "Or", "Pattern",
+    "PatternNode", "Predicate", "ReturnClause", "Sequence", "TruePredicate",
+    "attr", "classify_conjuncts", "cmp", "conj", "conjunction_of", "const",
+    "contains_operator", "disj", "evaluate_pattern", "evaluate_window",
+    "iteration", "match_set", "normalize", "normalize_pattern", "nseq",
+    "parse_pattern", "pattern_length", "ref", "seq", "validate_pattern",
+]

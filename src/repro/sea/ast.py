@@ -1,0 +1,333 @@
+"""Pattern AST — the Simple Event Algebra operators (paper Section 3).
+
+SEA comprises eight operators. Selection and projection are shared with
+ASP and live in the predicate/WHERE layer; the window is mandatory and
+attached to the pattern root (``WITHIN (W, s)``, Section 3.1.2). The
+remaining five are modelled as AST nodes:
+
+* :class:`EventTypeRef` — a typed event variable ``T alias``;
+* :class:`Sequence` — ``SEQ``: temporal order, associative (Eq. 10);
+* :class:`Conjunction` — ``AND``: co-occurrence, associative and
+  commutative (Eq. 9);
+* :class:`Disjunction` — ``OR``: either occurs (Eq. 11);
+* :class:`Iteration` — ``ITER^m``: m occurrences of one type in temporal
+  order (Eq. 12); optionally unbounded (Kleene+ variation, Section 4.3.2)
+  and optionally with an inter-event contiguity condition (the paper's
+  ``v_n.value < v_{n+1}.value`` workload ITER_2);
+* :class:`NegatedSequence` — ``NSEQ``: ``SEQ(T1, ¬T2, T3)`` (Eq. 14);
+  neither associative nor commutative.
+
+:class:`Pattern` bundles an operator tree with its WHERE predicate,
+WITHIN window and RETURN clause — the general SASE+ structure of paper
+Listing 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Literal
+
+from repro.asp.datamodel import Event
+from repro.asp.operators.window import WindowSpec
+from repro.asp.time import MS_PER_MINUTE
+from repro.errors import PatternValidationError
+from repro.sea.predicates import Predicate, TruePredicate
+
+
+class PatternNode:
+    """Base class of pattern operator tree nodes."""
+
+    #: SEA keyword used in the declarative syntax and in plan rendering.
+    keyword = "?"
+
+    def children(self) -> tuple["PatternNode", ...]:
+        return ()
+
+    def aliases(self) -> list[str]:
+        """All event aliases bound by this subtree, in positional order."""
+        out: list[str] = []
+        for child in self.children():
+            out.extend(child.aliases())
+        return out
+
+    def event_types(self) -> list[str]:
+        """All referenced event types (with repetition, positional order)."""
+        out: list[str] = []
+        for child in self.children():
+            out.extend(child.event_types())
+        return out
+
+    def render(self) -> str:
+        inner = ", ".join(c.render() for c in self.children())
+        return f"{self.keyword}({inner})"
+
+    def walk(self) -> Iterator["PatternNode"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True, repr=False)
+class EventTypeRef(PatternNode):
+    """A typed event variable: ``T1 e1`` in the PATTERN clause."""
+
+    event_type: str
+    alias: str
+
+    keyword = "REF"
+
+    def aliases(self) -> list[str]:
+        return [self.alias]
+
+    def event_types(self) -> list[str]:
+        return [self.event_type]
+
+    def render(self) -> str:
+        return f"{self.event_type} {self.alias}"
+
+
+@dataclass(frozen=True, repr=False)
+class Sequence(PatternNode):
+    """``SEQ(p1, ..., pn)`` — children in strict temporal order (Eq. 10).
+
+    Between two composite children the order is interpreted as *all*
+    events of the left child preceding *all* events of the right child
+    (max(left) < min(right)), which coincides with the paper's pairwise
+    ``e_i.ts < e_{i+1}.ts`` on flat sequences and is what the consecutive
+    window joins of the mapping enforce via the min-timestamp
+    re-assignment of partial matches (Section 4.2.2).
+    """
+
+    parts: tuple[PatternNode, ...]
+
+    keyword = "SEQ"
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise PatternValidationError("SEQ requires at least two operands")
+
+    def children(self) -> tuple[PatternNode, ...]:
+        return self.parts
+
+
+@dataclass(frozen=True, repr=False)
+class Conjunction(PatternNode):
+    """``AND(p1, ..., pn)`` — all occur within the window (Eq. 9)."""
+
+    parts: tuple[PatternNode, ...]
+
+    keyword = "AND"
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise PatternValidationError("AND requires at least two operands")
+
+    def children(self) -> tuple[PatternNode, ...]:
+        return self.parts
+
+
+@dataclass(frozen=True, repr=False)
+class Disjunction(PatternNode):
+    """``OR(p1, ..., pn)`` — any one occurs within the window (Eq. 11).
+
+    Restriction carried over from the mapping (Section 4.1): operands
+    must be single event-type references so the union stays
+    schema-compatible after alignment.
+    """
+
+    parts: tuple[PatternNode, ...]
+
+    keyword = "OR"
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise PatternValidationError("OR requires at least two operands")
+
+    def children(self) -> tuple[PatternNode, ...]:
+        return self.parts
+
+
+#: Inter-event condition of an iteration: receives consecutive events.
+IterCondition = Callable[[Event, Event], bool]
+
+
+@dataclass(frozen=True, repr=False)
+class Iteration(PatternNode):
+    """``ITER^m(T e)`` — m occurrences in temporal order (Eq. 12).
+
+    ``minimum_occurrences=False`` (default) is the SEA-exact bounded
+    iteration (= m events). ``minimum_occurrences=True`` is the Kleene+
+    variation (>= m events) supported through optimization O2.
+
+    ``condition_kind`` mirrors the paper's two evaluation workloads:
+
+    * ``"none"`` — no inter-event constraint;
+    * ``"consecutive"`` — ``condition(e_n, e_{n+1})`` must hold for every
+      consecutive pair (paper ITER_2: ``v_n.value < v_{n+1}.value``);
+    * ``"threshold"`` — ``condition`` ignored; the constraint is a plain
+      per-event filter expressed in WHERE (paper ITER_3).
+    """
+
+    operand: EventTypeRef
+    count: int
+    condition: IterCondition | None = None
+    condition_kind: Literal["none", "consecutive"] = "none"
+    minimum_occurrences: bool = False
+
+    keyword = "ITER"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise PatternValidationError(f"ITER requires m >= 1, got {self.count}")
+        if self.condition is not None and self.condition_kind == "none":
+            object.__setattr__(self, "condition_kind", "consecutive")
+
+    def children(self) -> tuple[PatternNode, ...]:
+        return (self.operand,)
+
+    def aliases(self) -> list[str]:
+        # One alias per repetition: e[1], ..., e[m].
+        return [f"{self.operand.alias}[{i}]" for i in range(1, self.count + 1)]
+
+    def event_types(self) -> list[str]:
+        return [self.operand.event_type] * self.count
+
+    def render(self) -> str:
+        suffix = "+" if self.minimum_occurrences else ""
+        return f"ITER{self.count}{suffix}({self.operand.render()})"
+
+
+@dataclass(frozen=True, repr=False)
+class NegatedSequence(PatternNode):
+    """``NSEQ(T1 e1, ¬T2 e2, T3 e3)`` — Eq. 14.
+
+    Matches are pairs ``(e1, e3)`` with ``e1.ts < e3.ts`` and no ``T2``
+    event strictly inside ``(e1.ts, e3.ts)``. The negated reference binds
+    no output alias (the match does not contain a T2 event).
+    """
+
+    first: EventTypeRef
+    negated: EventTypeRef
+    last: EventTypeRef
+
+    keyword = "NSEQ"
+
+    def __post_init__(self) -> None:
+        if self.negated.event_type in (self.first.event_type, self.last.event_type):
+            raise PatternValidationError(
+                "NSEQ negated type must differ from the positive types "
+                f"(got {self.negated.event_type})"
+            )
+
+    def children(self) -> tuple[PatternNode, ...]:
+        return (self.first, self.negated, self.last)
+
+    def aliases(self) -> list[str]:
+        return [self.first.alias, self.last.alias]
+
+    def event_types(self) -> list[str]:
+        return [self.first.event_type, self.negated.event_type, self.last.event_type]
+
+    def render(self) -> str:
+        return (
+            f"SEQ({self.first.render()}, !{self.negated.render()}, {self.last.render()})"
+        )
+
+
+@dataclass(frozen=True)
+class ReturnClause:
+    """Output definition; ``*`` concatenates all participating events."""
+
+    projection: tuple[str, ...] = ("*",)
+
+    @property
+    def is_star(self) -> bool:
+        return self.projection == ("*",)
+
+    def render(self) -> str:
+        return ", ".join(self.projection)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A complete pattern: PATTERN / WHERE / WITHIN / RETURN.
+
+    The window is mandatory (paper Section 3.1.4: without it events are
+    valid forever and state grows without bound); construction fails
+    without one.
+    """
+
+    root: PatternNode
+    where: Predicate = field(default_factory=TruePredicate)
+    window: WindowSpec = field(default=None)  # type: ignore[assignment]
+    returns: ReturnClause = field(default_factory=ReturnClause)
+    name: str = "pattern"
+
+    def __post_init__(self) -> None:
+        if self.window is None:
+            raise PatternValidationError(
+                "every pattern requires a WITHIN window (explicit windowing, "
+                "paper Section 3.1.4)"
+            )
+
+    def aliases(self) -> list[str]:
+        return self.root.aliases()
+
+    def event_types(self) -> list[str]:
+        return self.root.event_types()
+
+    def distinct_event_types(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for t in self.root.event_types():
+            seen.setdefault(t)
+        return list(seen)
+
+    def render(self) -> str:
+        lines = [f"PATTERN {self.root.render()}"]
+        if not isinstance(self.where, TruePredicate):
+            lines.append(f"WHERE {self.where.render()}")
+        window_minutes = self.window.size / MS_PER_MINUTE
+        slide_minutes = self.window.slide / MS_PER_MINUTE
+        lines.append(f"WITHIN {window_minutes:g} MINUTES SLIDE {slide_minutes:g} MINUTES")
+        lines.append(f"RETURN {self.returns.render()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.root.render()})"
+
+
+# -- convenience constructors (the programmatic pattern API) -----------------
+
+
+def ref(event_type: str, alias: str | None = None) -> EventTypeRef:
+    return EventTypeRef(event_type, alias or event_type.lower())
+
+
+def seq(*parts: PatternNode) -> Sequence:
+    return Sequence(tuple(parts))
+
+
+def conj(*parts: PatternNode) -> Conjunction:
+    return Conjunction(tuple(parts))
+
+
+def disj(*parts: PatternNode) -> Disjunction:
+    return Disjunction(tuple(parts))
+
+
+def iteration(
+    operand: EventTypeRef,
+    count: int,
+    condition: IterCondition | None = None,
+    minimum_occurrences: bool = False,
+) -> Iteration:
+    return Iteration(
+        operand, count, condition=condition, minimum_occurrences=minimum_occurrences
+    )
+
+
+def nseq(first: EventTypeRef, negated: EventTypeRef, last: EventTypeRef) -> NegatedSequence:
+    return NegatedSequence(first, negated, last)

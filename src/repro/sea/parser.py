@@ -1,0 +1,444 @@
+"""Declarative pattern specification language (PSL) parser.
+
+The paper uses the SASE+ structure (Listing 1)::
+
+    PATTERN <pattern structure>
+    [WHERE <predicates>]
+    [WITHIN <window>]
+    [RETURN <output definition>]
+
+and names a PSL-with-parser as future work (Section 7). This module
+implements that parser. Examples::
+
+    PATTERN SEQ(Q q1, V v1)
+    WHERE q1.value > 50 AND v1.value <= 100
+    WITHIN 15 MINUTES SLIDE 1 MINUTE
+
+    PATTERN SEQ(V v1, !Q q1, V v2)        -- negated sequence (NSEQ)
+    WITHIN 10 MINUTES
+
+    PATTERN ITER3(V v)                    -- bounded iteration, m = 3
+    WHERE v.value < 40
+    WITHIN 15 MINUTES
+
+    PATTERN ITER2+(PM10 p)                -- Kleene+ variation (>= m)
+    WITHIN 30 MINUTES
+
+    PATTERN AND(TEMP t, HUM h)
+    WHERE t.id = h.id                      -- O3 key candidate
+    WITHIN 5 MINUTES
+
+The grammar is recursive descent over a hand-written tokenizer; syntax
+errors carry line/column positions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.asp.operators.window import WindowSpec
+from repro.asp.time import MS_PER_HOUR, MS_PER_MINUTE, MS_PER_SECOND
+from repro.errors import PatternSyntaxError
+from repro.sea.ast import (
+    Conjunction,
+    Disjunction,
+    EventTypeRef,
+    Iteration,
+    NegatedSequence,
+    Pattern,
+    PatternNode,
+    ReturnClause,
+    Sequence,
+)
+from repro.sea.predicates import (
+    And,
+    Arith,
+    Attr,
+    Compare,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.sea.validation import validate_pattern
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+(\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9\[\]]*)
+  | (?P<string>'[^']*')
+  | (?P<op><=|>=|!=|==|=|<|>|\+|-|\*|/)
+  | (?P<punct>[(),.!])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "PATTERN", "WHERE", "WITHIN", "RETURN", "SLIDE",
+    "SEQ", "AND", "OR", "NOT", "NSEQ",
+    "MINUTE", "MINUTES", "SECOND", "SECONDS", "HOUR", "HOURS", "MS",
+    "TRUE", "FALSE",
+}
+
+_ITER_RE = re.compile(r"^ITER(\d*)(\+?)$", re.IGNORECASE)
+
+_UNITS = {
+    "MINUTE": MS_PER_MINUTE,
+    "MINUTES": MS_PER_MINUTE,
+    "SECOND": MS_PER_SECOND,
+    "SECONDS": MS_PER_SECOND,
+    "HOUR": MS_PER_HOUR,
+    "HOURS": MS_PER_HOUR,
+    "MS": 1,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # number | ident | string | op | punct | eof
+    text: str
+    line: int
+    column: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PatternSyntaxError(
+                f"unexpected character {text[pos]!r}", line, pos - line_start + 1
+            )
+        kind = match.lastgroup or ""
+        chunk = match.group()
+        if kind in ("ws", "comment"):
+            newlines = chunk.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + chunk.rfind("\n") + 1
+        else:
+            tokens.append(Token(kind, chunk, line, pos - line_start + 1))
+        pos = match.end()
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> PatternSyntaxError:
+        token = token or self.peek()
+        return PatternSyntaxError(message, token.line, token.column)
+
+    def expect_punct(self, char: str) -> Token:
+        token = self.peek()
+        if token.kind != "punct" or token.text != char:
+            raise self.error(f"expected '{char}', found {token.text!r}")
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if token.kind != "ident" or token.upper != word:
+            raise self.error(f"expected {word}, found {token.text!r}")
+        return self.advance()
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "ident" and token.upper in words
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self, name: str = "pattern") -> Pattern:
+        self.expect_keyword("PATTERN")
+        root = self.parse_node()
+        where: Predicate = TruePredicate()
+        if self.at_keyword("WHERE"):
+            self.advance()
+            where = self.parse_predicate()
+        if not self.at_keyword("WITHIN"):
+            raise self.error("every pattern requires a WITHIN clause")
+        self.advance()
+        size = self.parse_duration()
+        slide = MS_PER_MINUTE if size >= MS_PER_MINUTE else max(1, size // 10)
+        if self.at_keyword("SLIDE"):
+            self.advance()
+            slide = self.parse_duration()
+        returns = ReturnClause()
+        if self.at_keyword("RETURN"):
+            self.advance()
+            returns = self.parse_returns()
+        token = self.peek()
+        if token.kind != "eof":
+            raise self.error(f"unexpected trailing input {token.text!r}")
+        slide = min(slide, size)
+        return Pattern(
+            root=root,
+            where=where,
+            window=WindowSpec(size=size, slide=slide),
+            returns=returns,
+            name=name,
+        )
+
+    def parse_node(self) -> PatternNode:
+        token = self.peek()
+        if token.kind != "ident":
+            raise self.error(f"expected pattern operator, found {token.text!r}")
+        iter_match = _ITER_RE.match(token.text)
+        upper = token.upper
+        if upper in ("SEQ", "NSEQ"):
+            return self.parse_seq()
+        if upper == "AND":
+            self.advance()
+            return Conjunction(tuple(self.parse_operand_list()))
+        if upper == "OR":
+            self.advance()
+            return Disjunction(tuple(self.parse_operand_list()))
+        if iter_match and (iter_match.group(1) or self._iter_with_count_arg()):
+            return self.parse_iteration(iter_match)
+        return self.parse_typeref()
+
+    def _iter_with_count_arg(self) -> bool:
+        """Lookahead for the ``ITER(V v, 3)`` form."""
+        return self.peek().upper == "ITER"
+
+    def parse_seq(self) -> PatternNode:
+        self.advance()  # SEQ / NSEQ
+        self.expect_punct("(")
+        parts: list[tuple[bool, PatternNode]] = []
+        while True:
+            negated = False
+            token = self.peek()
+            if token.kind == "punct" and token.text == "!":
+                self.advance()
+                negated = True
+            elif self.at_keyword("NOT"):
+                self.advance()
+                negated = True
+            parts.append((negated, self.parse_node()))
+            token = self.peek()
+            if token.kind == "punct" and token.text == ",":
+                self.advance()
+                continue
+            break
+        self.expect_punct(")")
+        if any(neg for neg, _ in parts):
+            if len(parts) != 3 or not parts[1][0] or parts[0][0] or parts[2][0]:
+                raise self.error(
+                    "negation is only supported as the middle operand of a "
+                    "ternary sequence: SEQ(T1 e1, !T2 e2, T3 e3)"
+                )
+            operands = []
+            for _neg, node in parts:
+                if not isinstance(node, EventTypeRef):
+                    raise self.error("NSEQ operands must be event type references")
+                operands.append(node)
+            return NegatedSequence(operands[0], operands[1], operands[2])
+        return Sequence(tuple(node for _neg, node in parts))
+
+    def parse_operand_list(self) -> list[PatternNode]:
+        self.expect_punct("(")
+        parts = [self.parse_node()]
+        while self.peek().kind == "punct" and self.peek().text == ",":
+            self.advance()
+            parts.append(self.parse_node())
+        self.expect_punct(")")
+        return parts
+
+    def parse_iteration(self, iter_match: re.Match) -> Iteration:
+        self.advance()  # the ITERn token
+        count_text, plus = iter_match.group(1), iter_match.group(2)
+        if self.peek().kind == "op" and self.peek().text == "+":
+            # The Kleene+ marker tokenizes separately: ITER2+(...)
+            self.advance()
+            plus = "+"
+        self.expect_punct("(")
+        operand = self.parse_typeref()
+        count: int | None = int(count_text) if count_text else None
+        if self.peek().kind == "punct" and self.peek().text == ",":
+            self.advance()
+            number = self.peek()
+            if number.kind != "number":
+                raise self.error("expected iteration count")
+            self.advance()
+            if count is not None:
+                raise self.error("iteration count given twice")
+            count = int(number.text)
+        self.expect_punct(")")
+        if count is None:
+            raise self.error("ITER requires a count: ITER3(V v) or ITER(V v, 3)")
+        return Iteration(operand, count, minimum_occurrences=bool(plus))
+
+    def parse_typeref(self) -> EventTypeRef:
+        type_token = self.peek()
+        if type_token.kind != "ident" or type_token.upper in _KEYWORDS:
+            raise self.error(f"expected event type, found {type_token.text!r}")
+        self.advance()
+        alias_token = self.peek()
+        if alias_token.kind == "ident" and alias_token.upper not in _KEYWORDS:
+            self.advance()
+            return EventTypeRef(type_token.text, alias_token.text)
+        return EventTypeRef(type_token.text, type_token.text.lower())
+
+    # -- predicates ---------------------------------------------------------
+
+    def parse_predicate(self) -> Predicate:
+        return self.parse_or()
+
+    def parse_or(self) -> Predicate:
+        left = self.parse_and()
+        while self.at_keyword("OR"):
+            self.advance()
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Predicate:
+        left = self.parse_unary()
+        while self.at_keyword("AND"):
+            self.advance()
+            left = And(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Predicate:
+        if self.at_keyword("NOT"):
+            self.advance()
+            return Not(self.parse_unary())
+        if self.at_keyword("TRUE"):
+            self.advance()
+            return TruePredicate()
+        if self.peek().kind == "punct" and self.peek().text == "(":
+            # Could be a parenthesized predicate; try it, fall back to
+            # comparison whose left side is a parenthesized expression.
+            saved = self.pos
+            try:
+                self.advance()
+                inner = self.parse_predicate()
+                self.expect_punct(")")
+                return inner
+            except PatternSyntaxError:
+                self.pos = saved
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Predicate:
+        left = self.parse_arith()
+        token = self.peek()
+        if token.kind != "op" or token.text not in ("=", "==", "!=", "<", "<=", ">", ">="):
+            raise self.error(f"expected comparison operator, found {token.text!r}")
+        self.advance()
+        right = self.parse_arith()
+        return Compare(token.text, left, right)
+
+    def parse_arith(self) -> Expr:
+        left = self.parse_term()
+        while self.peek().kind == "op" and self.peek().text in ("+", "-"):
+            op = self.advance().text
+            left = Arith(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while self.peek().kind == "op" and self.peek().text in ("*", "/"):
+            op = self.advance().text
+            left = Arith(op, left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Const(value)
+        if token.kind == "string":
+            self.advance()
+            return Const(token.text[1:-1])
+        if token.kind == "punct" and token.text == "(":
+            self.advance()
+            inner = self.parse_arith()
+            self.expect_punct(")")
+            return inner
+        if token.kind == "op" and token.text == "-":
+            self.advance()
+            inner = self.parse_factor()
+            return Arith("-", Const(0), inner)
+        if token.kind == "ident":
+            self.advance()
+            dot = self.peek()
+            if dot.kind == "punct" and dot.text == ".":
+                self.advance()
+                attr_token = self.peek()
+                if attr_token.kind != "ident":
+                    raise self.error("expected attribute name after '.'")
+                self.advance()
+                return Attr(token.text, attr_token.text)
+            raise self.error(
+                f"bare identifier {token.text!r}; attribute references are "
+                "written alias.attribute"
+            )
+        raise self.error(f"unexpected token {token.text!r} in expression")
+
+    # -- misc clauses -----------------------------------------------------------
+
+    def parse_duration(self) -> int:
+        number = self.peek()
+        if number.kind != "number":
+            raise self.error("expected a duration number")
+        self.advance()
+        unit = self.peek()
+        if unit.kind != "ident" or unit.upper not in _UNITS:
+            raise self.error(f"expected a time unit, found {unit.text!r}")
+        self.advance()
+        return int(float(number.text) * _UNITS[unit.upper])
+
+    def parse_returns(self) -> ReturnClause:
+        token = self.peek()
+        if token.kind == "op" and token.text == "*":
+            self.advance()
+            return ReturnClause()
+        items: list[str] = []
+        while True:
+            token = self.peek()
+            if token.kind != "ident":
+                raise self.error("expected attribute in RETURN clause")
+            self.advance()
+            name = token.text
+            if self.peek().kind == "punct" and self.peek().text == ".":
+                self.advance()
+                attr_token = self.advance()
+                name = f"{name}.{attr_token.text}"
+            items.append(name)
+            if self.peek().kind == "punct" and self.peek().text == ",":
+                self.advance()
+                continue
+            break
+        return ReturnClause(tuple(items))
+
+
+def parse_pattern(text: str, name: str = "pattern", validate: bool = True) -> Pattern:
+    """Parse (and by default validate + normalize) a declarative pattern."""
+    pattern = _Parser(text).parse(name=name)
+    if validate:
+        pattern = validate_pattern(pattern)
+    return pattern

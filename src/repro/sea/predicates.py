@@ -1,0 +1,306 @@
+"""Predicate expression trees for pattern WHERE clauses.
+
+Patterns constrain participating events with predicates over event
+attributes (paper Listing 2: ``e1.value <= e2.value AND e3.value <= 10``).
+This module models those predicates as small expression trees that can be
+
+* evaluated against a *binding* (mapping of alias -> event),
+* classified for the translator: a predicate referencing one alias is a
+  pushdown filter; an equality between attributes of two aliases is an
+  Equi-Join key candidate (optimization O3); any other two-alias
+  predicate becomes a theta/post-join condition,
+* rendered back to text for the SQL views of the mapped queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.asp.datamodel import Event
+from repro.errors import PatternValidationError
+
+Binding = Mapping[str, Event]
+
+
+class Expr:
+    """Base class of value expressions."""
+
+    def evaluate(self, binding: Binding) -> Any:
+        raise NotImplementedError
+
+    def aliases(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True, repr=False)
+class Const(Expr):
+    value: Any
+
+    def evaluate(self, binding: Binding) -> Any:
+        return self.value
+
+    def aliases(self) -> frozenset[str]:
+        return frozenset()
+
+    def render(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+@dataclass(frozen=True, repr=False)
+class Attr(Expr):
+    """Attribute reference ``alias.attribute`` (e.g. ``e1.value``)."""
+
+    alias: str
+    attribute: str
+
+    def evaluate(self, binding: Binding) -> Any:
+        try:
+            event = binding[self.alias]
+        except KeyError:
+            raise PatternValidationError(
+                f"predicate references unbound alias '{self.alias}'"
+            ) from None
+        return event[self.attribute]
+
+    def aliases(self) -> frozenset[str]:
+        return frozenset({self.alias})
+
+    def render(self) -> str:
+        return f"{self.alias}.{self.attribute}"
+
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True, repr=False)
+class Arith(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator '{self.op}'")
+
+    def evaluate(self, binding: Binding) -> Any:
+        return _ARITH_OPS[self.op](self.left.evaluate(binding), self.right.evaluate(binding))
+
+    def aliases(self) -> frozenset[str]:
+        return self.left.aliases() | self.right.aliases()
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+class Predicate:
+    """Base class of boolean predicate nodes."""
+
+    def evaluate(self, binding: Binding) -> bool:
+        raise NotImplementedError
+
+    def aliases(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def conjuncts(self) -> list["Predicate"]:
+        """Flatten top-level conjunctions into a predicate list.
+
+        The translator plans each conjunct independently (filter pushdown,
+        join key extraction), which is sound because conjunction is
+        commutative and associative.
+        """
+        return [self]
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+_CMP_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, repr=False)
+class Compare(Predicate):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison operator '{self.op}'")
+
+    def evaluate(self, binding: Binding) -> bool:
+        return _CMP_OPS[self.op](self.left.evaluate(binding), self.right.evaluate(binding))
+
+    def aliases(self) -> frozenset[str]:
+        return self.left.aliases() | self.right.aliases()
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.op} {self.right.render()}"
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op in ("=", "==")
+
+    def equi_join_attributes(self) -> tuple[tuple[str, str], tuple[str, str]] | None:
+        """If this is ``a.x = b.y`` with distinct aliases, return
+        ``((a, x), (b, y))`` — an Equi-Join key candidate for O3."""
+        if not self.is_equality:
+            return None
+        if not isinstance(self.left, Attr) or not isinstance(self.right, Attr):
+            return None
+        if self.left.alias == self.right.alias:
+            return None
+        return ((self.left.alias, self.left.attribute), (self.right.alias, self.right.attribute))
+
+
+@dataclass(frozen=True, repr=False)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, binding: Binding) -> bool:
+        return self.left.evaluate(binding) and self.right.evaluate(binding)
+
+    def aliases(self) -> frozenset[str]:
+        return self.left.aliases() | self.right.aliases()
+
+    def render(self) -> str:
+        return f"({self.left.render()} AND {self.right.render()})"
+
+    def conjuncts(self) -> list[Predicate]:
+        return self.left.conjuncts() + self.right.conjuncts()
+
+
+@dataclass(frozen=True, repr=False)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, binding: Binding) -> bool:
+        return self.left.evaluate(binding) or self.right.evaluate(binding)
+
+    def aliases(self) -> frozenset[str]:
+        return self.left.aliases() | self.right.aliases()
+
+    def render(self) -> str:
+        return f"({self.left.render()} OR {self.right.render()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Not(Predicate):
+    inner: Predicate
+
+    def evaluate(self, binding: Binding) -> bool:
+        return not self.inner.evaluate(binding)
+
+    def aliases(self) -> frozenset[str]:
+        return self.inner.aliases()
+
+    def render(self) -> str:
+        return f"NOT ({self.inner.render()})"
+
+
+@dataclass(frozen=True, repr=False)
+class TruePredicate(Predicate):
+    """Neutral element; a pattern without WHERE uses this."""
+
+    def evaluate(self, binding: Binding) -> bool:
+        return True
+
+    def aliases(self) -> frozenset[str]:
+        return frozenset()
+
+    def render(self) -> str:
+        return "TRUE"
+
+    def conjuncts(self) -> list[Predicate]:
+        return []
+
+
+def conjunction_of(predicates: Iterable[Predicate]) -> Predicate:
+    """Fold a predicate list back into a single conjunction."""
+    result: Predicate | None = None
+    for pred in predicates:
+        if isinstance(pred, TruePredicate):
+            continue
+        result = pred if result is None else And(result, pred)
+    return result if result is not None else TruePredicate()
+
+
+def classify_conjuncts(
+    predicate: Predicate,
+) -> tuple[dict[str, list[Predicate]], list[Compare], list[Predicate]]:
+    """Split a WHERE clause for the translator.
+
+    Returns ``(single_alias, equi_joins, multi_alias)``:
+
+    * ``single_alias`` — conjuncts touching exactly one alias, grouped by
+      alias; these become pushdown filters on the per-type input streams
+      (the classic filter-pushdown ASP optimization the paper's
+      decomposition unlocks);
+    * ``equi_joins`` — equality comparisons between attributes of two
+      aliases, the O3 key candidates;
+    * ``multi_alias`` — everything else crossing aliases; evaluated after
+      the joins as post-join selections.
+    """
+    single: dict[str, list[Predicate]] = {}
+    equi: list[Compare] = []
+    multi: list[Predicate] = []
+    for conjunct in predicate.conjuncts():
+        referenced = conjunct.aliases()
+        if len(referenced) <= 1:
+            alias = next(iter(referenced), "")
+            single.setdefault(alias, []).append(conjunct)
+        elif isinstance(conjunct, Compare) and conjunct.equi_join_attributes() is not None:
+            equi.append(conjunct)
+        else:
+            multi.append(conjunct)
+    return single, equi, multi
+
+
+def compile_single_alias(predicates: Iterable[Predicate], alias: str) -> Callable[[Event], bool]:
+    """Compile single-alias conjuncts into an ``Event -> bool`` callable."""
+    preds = list(predicates)
+
+    def check(event: Event) -> bool:
+        binding = {alias: event}
+        return all(p.evaluate(binding) for p in preds)
+
+    return check
+
+
+# -- convenience constructors used by tests and examples ---------------------
+
+
+def attr(alias: str, attribute: str) -> Attr:
+    return Attr(alias, attribute)
+
+
+def const(value: Any) -> Const:
+    return Const(value)
+
+
+def cmp(op: str, left: Expr, right: Expr) -> Compare:
+    return Compare(op, left, right)

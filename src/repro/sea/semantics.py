@@ -1,0 +1,341 @@
+"""Executable reference semantics of SEA — the correctness oracle.
+
+This module evaluates patterns by brute force, directly transcribing the
+paper's formal definitions:
+
+* explicit sliding windows discretize the stream into substreams
+  ``T_k = [T]^{ts_e}_{ts_b}`` (Eqs. 4/5);
+* within each substream the operator equations apply:
+  conjunction (Eq. 9), sequence (Eq. 10), disjunction (Eq. 11),
+  iteration (Eq. 12), negated sequence (Eq. 14);
+* the WHERE predicate filters candidate bindings;
+* overlapping windows produce duplicates, which are eliminated — the
+  paper's semantic equivalence is defined *after duplicate elimination*
+  (Section 4, after Negri et al.).
+
+The oracle corresponds to the skip-till-any-match selection policy
+(Section 3.1.4: set semantics ``==`` STAM). It is exponential and meant
+for streams of at most a few hundred events; both the NFA engine and the
+mapped ASP plans are tested against it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence as Seq
+
+from repro.asp.datamodel import ComplexEvent, Event
+from repro.asp.operators.window import SlidingWindowAssigner
+from repro.errors import PatternValidationError
+from repro.sea.ast import (
+    Conjunction,
+    Disjunction,
+    EventTypeRef,
+    Iteration,
+    NegatedSequence,
+    Pattern,
+    PatternNode,
+    Sequence,
+)
+from repro.sea.predicates import classify_conjuncts
+from repro.sea.validation import normalize_pattern
+
+#: One candidate: (binding dict alias->event, positional event tuple).
+Candidate = tuple[dict[str, Event], tuple[Event, ...]]
+
+
+#: Per-alias pre-filter callables derived from single-alias WHERE
+#: conjuncts. Applying them during candidate generation is semantically
+#: equivalent to post-filtering the binding (each conjunct constrains one
+#: bound event independently) and avoids enumerating combinations of
+#: events that can never satisfy WHERE — crucial for iterations, whose
+#: candidate count is combinatorial in the qualifying events.
+Prefilters = dict
+
+
+def _passes(prefilters: Prefilters, alias: str, event: Event) -> bool:
+    checks = prefilters.get(alias)
+    if not checks:
+        return True
+    return all(pred.evaluate({alias: event}) for pred in checks)
+
+
+def _eval_ref(
+    node: EventTypeRef, events: Seq[Event], prefilters: Prefilters
+) -> list[Candidate]:
+    return [
+        ({node.alias: e}, (e,))
+        for e in events
+        if e.event_type == node.event_type and _passes(prefilters, node.alias, e)
+    ]
+
+
+def _eval_sequence(
+    node: Sequence, events: Seq[Event], prefilters: Prefilters
+) -> list[Candidate]:
+    """Eq. 10 generalized: all events of part i precede all of part i+1."""
+    result = _eval_node(node.parts[0], events, prefilters)
+    for part in node.parts[1:]:
+        right = _eval_node(part, events, prefilters)
+        combined: list[Candidate] = []
+        for l_binding, l_events in result:
+            l_max = max(e.ts for e in l_events)
+            for r_binding, r_events in right:
+                r_min = min(e.ts for e in r_events)
+                if l_max < r_min:
+                    combined.append(({**l_binding, **r_binding}, l_events + r_events))
+        result = combined
+    return result
+
+
+def _eval_conjunction(
+    node: Conjunction, events: Seq[Event], prefilters: Prefilters
+) -> list[Candidate]:
+    """Eq. 9 generalized: the Cartesian product of all parts."""
+    result = _eval_node(node.parts[0], events, prefilters)
+    for part in node.parts[1:]:
+        right = _eval_node(part, events, prefilters)
+        result = [
+            ({**lb, **rb}, le + re)
+            for lb, le in result
+            for rb, re in right
+        ]
+    return result
+
+
+def _eval_disjunction(
+    node: Disjunction, events: Seq[Event], prefilters: Prefilters
+) -> list[Candidate]:
+    """Eq. 11: the union — every single occurrence is a match."""
+    out: list[Candidate] = []
+    for part in node.parts:
+        out.extend(_eval_node(part, events, prefilters))
+    return out
+
+
+def _eval_iteration(
+    node: Iteration, events: Seq[Event], prefilters: Prefilters
+) -> list[Candidate]:
+    """Eq. 12: m-combinations with strictly increasing timestamps.
+
+    With ``minimum_occurrences`` (Kleene+ variation) every combination of
+    size >= m qualifies. The optional consecutive condition must hold for
+    every adjacent pair of the composition. Bare-alias predicates apply
+    per repetition, so they pre-filter the relevant events before the
+    combinatorial enumeration.
+    """
+    alias = node.operand.alias
+    relevant = sorted(
+        (
+            e
+            for e in events
+            if e.event_type == node.operand.event_type
+            and _passes(prefilters, alias, e)
+        ),
+        key=lambda e: (e.ts, e.id, e.value),
+    )
+    sizes: Iterable[int]
+    if node.minimum_occurrences:
+        sizes = range(node.count, len(relevant) + 1)
+    else:
+        sizes = (node.count,)
+    out: list[Candidate] = []
+    for size in sizes:
+        for combo in itertools.combinations(relevant, size):
+            if any(a.ts >= b.ts for a, b in zip(combo, combo[1:])):
+                continue  # strict temporal order e1.ts < ... < em.ts
+            if node.condition is not None and any(
+                not node.condition(a, b) for a, b in zip(combo, combo[1:])
+            ):
+                continue
+            binding = {
+                f"{node.operand.alias}[{i}]": e for i, e in enumerate(combo, start=1)
+            }
+            out.append((binding, tuple(combo)))
+    return out
+
+
+def _eval_nseq(
+    node: NegatedSequence, events: Seq[Event], blocker_ok, prefilters: Prefilters
+) -> list[Candidate]:
+    """Eq. 14: (e1, e3) with no qualifying T2 strictly inside (e1.ts, e3.ts)."""
+    firsts = [
+        e for e in events
+        if e.event_type == node.first.event_type
+        and _passes(prefilters, node.first.alias, e)
+    ]
+    lasts = [
+        e for e in events
+        if e.event_type == node.last.event_type
+        and _passes(prefilters, node.last.alias, e)
+    ]
+    blockers = [
+        e
+        for e in events
+        if e.event_type == node.negated.event_type and blocker_ok(e)
+    ]
+    out: list[Candidate] = []
+    for e1 in firsts:
+        for e3 in lasts:
+            if e1.ts >= e3.ts:
+                continue
+            if any(e1.ts < b.ts < e3.ts for b in blockers):
+                continue
+            out.append(
+                ({node.first.alias: e1, node.last.alias: e3}, (e1, e3))
+            )
+    return out
+
+
+def _eval_node(
+    node: PatternNode, events: Seq[Event], prefilters: Prefilters
+) -> list[Candidate]:
+    if isinstance(node, EventTypeRef):
+        return _eval_ref(node, events, prefilters)
+    if isinstance(node, Sequence):
+        return _eval_sequence(node, events, prefilters)
+    if isinstance(node, Conjunction):
+        return _eval_conjunction(node, events, prefilters)
+    if isinstance(node, Disjunction):
+        return _eval_disjunction(node, events, prefilters)
+    if isinstance(node, Iteration):
+        return _eval_iteration(node, events, prefilters)
+    if isinstance(node, NegatedSequence):
+        raise PatternValidationError(
+            "NSEQ is only supported at the pattern root (ternary operator)"
+        )
+    raise PatternValidationError(f"oracle cannot evaluate node {node!r}")
+
+
+def _where_holds(
+    pattern: Pattern,
+    binding: dict[str, Event],
+    iter_bare_aliases: dict[str, list[str]],
+) -> bool:
+    """Evaluate WHERE against a binding.
+
+    A bare iteration alias (``v``) in a single-alias predicate applies to
+    *every* repetition ``v[i]`` (threshold-filter semantics, paper
+    ITER_3). Indexed aliases resolve directly.
+    """
+    for conjunct in pattern.where.conjuncts():
+        referenced = conjunct.aliases()
+        bare = [a for a in referenced if a in iter_bare_aliases]
+        if not bare:
+            if not conjunct.evaluate(binding):
+                return False
+            continue
+        if len(referenced) != 1:
+            raise PatternValidationError(
+                "bare iteration aliases may only appear in single-alias "
+                f"predicates, got: {conjunct.render()}"
+            )
+        alias = bare[0]
+        for indexed in iter_bare_aliases[alias]:
+            if indexed not in binding:
+                continue
+            if not conjunct.evaluate({alias: binding[indexed]}):
+                return False
+    return True
+
+
+def _iter_bare_aliases(pattern: Pattern) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {}
+    for node in pattern.root.walk():
+        if isinstance(node, Iteration):
+            out[node.operand.alias] = node.aliases()
+    return out
+
+
+def window_indices(events: Seq[Event], assigner: SlidingWindowAssigner) -> range:
+    if not events:
+        return range(0)
+    min_ts = min(e.ts for e in events)
+    max_ts = max(e.ts for e in events)
+    first = assigner.indices_for(min_ts)[0]
+    last = max_ts // assigner.spec.slide
+    return range(first, last + 1)
+
+
+def evaluate_window(pattern: Pattern, window_events: Seq[Event]) -> list[ComplexEvent]:
+    """All matches of ``pattern`` inside one finite substream (Theorem 1)."""
+    pattern = normalize_pattern(pattern)
+    iter_bare = _iter_bare_aliases(pattern)
+    single_preds, _equi, _multi = classify_conjuncts(pattern.where)
+    # Constant (alias-free) conjuncts cannot prefilter candidates.
+    prefilters: Prefilters = {
+        alias: preds for alias, preds in single_preds.items() if alias
+    }
+
+    if isinstance(pattern.root, NegatedSequence):
+        node = pattern.root
+        single, _equi, _multi = classify_conjuncts(pattern.where)
+        blocker_preds = single.get(node.negated.alias, [])
+
+        def blocker_ok(event: Event) -> bool:
+            return all(p.evaluate({node.negated.alias: event}) for p in blocker_preds)
+
+        candidates = _eval_nseq(node, window_events, blocker_ok, prefilters)
+        negated_alias = node.negated.alias
+    else:
+        candidates = _eval_node(pattern.root, window_events, prefilters)
+        negated_alias = None
+
+    matches: list[ComplexEvent] = []
+    for binding, positional in candidates:
+        relevant_where = pattern.where
+        if negated_alias is not None:
+            # Blocker predicates were applied inside _eval_nseq; strip them.
+            from repro.sea.predicates import conjunction_of
+
+            remaining = [
+                c
+                for c in relevant_where.conjuncts()
+                if negated_alias not in c.aliases()
+            ]
+            relevant_where = conjunction_of(remaining)
+        probe = Pattern(
+            root=pattern.root,
+            where=relevant_where,
+            window=pattern.window,
+            returns=pattern.returns,
+            name=pattern.name,
+        )
+        if _where_holds(probe, binding, iter_bare):
+            matches.append(ComplexEvent(positional))
+    return matches
+
+
+def evaluate_pattern(
+    pattern: Pattern,
+    events: Seq[Event],
+    deduplicate: bool = True,
+) -> list[ComplexEvent]:
+    """All matches of ``pattern`` over the full stream.
+
+    Discretizes via the pattern's sliding window (Eqs. 4/5), evaluates
+    every substream, and (by default) removes the duplicates produced by
+    overlapping windows. Matches are returned in deterministic order.
+    """
+    assigner = SlidingWindowAssigner(pattern.window)
+    seen: set[tuple] = set()
+    out: list[ComplexEvent] = []
+    for k in window_indices(events, assigner):
+        win = assigner.window_for_index(k)
+        in_window = [e for e in events if win.begin <= e.ts < win.end]
+        if not in_window:
+            continue
+        for match in evaluate_window(pattern, in_window):
+            if deduplicate:
+                key = match.dedup_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+            out.append(match)
+    out.sort(key=lambda m: (m.ts_b, m.ts_e, m.dedup_key()))
+    return out
+
+
+def match_set(matches: Iterable[ComplexEvent]) -> set[tuple]:
+    """Canonical set representation for equivalence assertions in tests."""
+    return {m.dedup_key() for m in matches}

@@ -1,0 +1,54 @@
+"""Synthetic workload generation (substrate 4): QnV traffic and
+air-quality streams with the paper's schema and controllable frequency,
+key cardinality, and selectivity."""
+
+from repro.workloads.airquality import (
+    AQ_TYPES,
+    HUMIDITY,
+    PM2,
+    PM10,
+    TEMPERATURE,
+    AirQualityConfig,
+    aq_stream,
+    aq_streams,
+)
+from repro.workloads.csvio import read_events, write_events
+from repro.workloads.disorder import max_disorder, shuffle_bounded
+from repro.workloads.generator import (
+    StreamSpec,
+    WorkloadConfig,
+    duration_for_events,
+    generate_rush_hour_traffic,
+    generate_skewed_stream,
+    generate_stream,
+    generate_workload,
+    merged_timeline,
+    rush_hour_profile,
+    zipf_weights,
+)
+from repro.workloads.qnv import (
+    QUANTITY,
+    VELOCITY,
+    QnVConfig,
+    qnv_streams,
+    quantity_stream,
+    quantity_threshold_for_selectivity,
+    velocity_stream,
+    velocity_threshold_for_selectivity,
+)
+from repro.workloads.selectivity import (
+    calibrate_filter_selectivity,
+    calibrate_iter_filter,
+    seq2_output_selectivity,
+)
+
+__all__ = [
+    "AQ_TYPES", "AirQualityConfig", "HUMIDITY", "PM10", "PM2", "QUANTITY",
+    "QnVConfig", "StreamSpec", "TEMPERATURE", "VELOCITY", "WorkloadConfig",
+    "aq_stream", "aq_streams", "calibrate_filter_selectivity",
+    "calibrate_iter_filter", "duration_for_events", "generate_stream",
+    "generate_rush_hour_traffic", "generate_skewed_stream", "generate_workload", "rush_hour_profile", "max_disorder", "merged_timeline", "qnv_streams", "quantity_stream", "shuffle_bounded", "zipf_weights",
+    "quantity_threshold_for_selectivity", "read_events",
+    "seq2_output_selectivity", "velocity_stream",
+    "velocity_threshold_for_selectivity", "write_events",
+]

@@ -1,0 +1,85 @@
+"""QnV traffic workload — synthetic stand-in for the paper's QnV data.
+
+The original data (mCLOUD portal) covered ~2.5k road segments in Hessen;
+each tuple reports the vehicle *quantity* (Q) and average *velocity* (V)
+per minute per segment with schema ``(id, lat, lon, ts, value)``
+(Section 5.1.3). The portal is offline (paper footnote 3), so this module
+synthesizes streams with the same shape:
+
+* one Q and one V reading per segment per minute,
+* values drawn uniformly (quantity 0..100 cars, velocity 0..150 km/h) so
+  threshold filters have analytically exact selectivities,
+* segment ids double as partition keys for the Figure 4/6 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asp.datamodel import Event
+from repro.asp.time import MS_PER_MINUTE
+from repro.workloads.generator import StreamSpec, generate_stream
+
+QUANTITY = "Q"
+VELOCITY = "V"
+
+#: Value ranges of the synthetic readings.
+QUANTITY_RANGE = (0.0, 100.0)
+VELOCITY_RANGE = (0.0, 150.0)
+
+
+@dataclass(frozen=True)
+class QnVConfig:
+    """Parameters of a QnV workload slice."""
+
+    num_segments: int = 1
+    duration_ms: int = 60 * MS_PER_MINUTE
+    period_ms: int = MS_PER_MINUTE
+    seed: int = 42
+
+    def quantity_spec(self) -> StreamSpec:
+        return StreamSpec(
+            QUANTITY,
+            period_ms=self.period_ms,
+            num_sensors=self.num_segments,
+            value_min=QUANTITY_RANGE[0],
+            value_max=QUANTITY_RANGE[1],
+        )
+
+    def velocity_spec(self) -> StreamSpec:
+        return StreamSpec(
+            VELOCITY,
+            period_ms=self.period_ms,
+            num_sensors=self.num_segments,
+            value_min=VELOCITY_RANGE[0],
+            value_max=VELOCITY_RANGE[1],
+        )
+
+
+def quantity_stream(config: QnVConfig) -> list[Event]:
+    return generate_stream(config.quantity_spec(), config.duration_ms, seed=config.seed)
+
+
+def velocity_stream(config: QnVConfig) -> list[Event]:
+    return generate_stream(config.velocity_spec(), config.duration_ms, seed=config.seed)
+
+
+def qnv_streams(config: QnVConfig) -> dict[str, list[Event]]:
+    """Both QnV streams keyed by type."""
+    return {QUANTITY: quantity_stream(config), VELOCITY: velocity_stream(config)}
+
+
+def quantity_threshold_for_selectivity(selectivity: float) -> float:
+    """Threshold t with P(Q.value > t) == selectivity (uniform values)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must be in [0, 1]")
+    lo, hi = QUANTITY_RANGE
+    return hi - selectivity * (hi - lo)
+
+
+def velocity_threshold_for_selectivity(selectivity: float) -> float:
+    """Threshold t with P(V.value < t) == selectivity (uniform values)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must be in [0, 1]")
+    lo, hi = VELOCITY_RANGE
+    return lo + selectivity * (hi - lo)

@@ -1,0 +1,126 @@
+"""Selectivity calibration helpers.
+
+The paper controls the *output selectivity* sigma_o = #matches/#events
+(Section 5.1.3) by varying the filter selectivities of the involved
+types. For uniform value distributions, filter selectivity maps to a
+threshold analytically; the mapping from filter selectivity to output
+selectivity depends on the pattern shape and is derived here for the
+shapes the evaluation uses.
+
+For a SEQ(2) over two streams of equal frequency f (events per slide) and
+window of w slides, each filtered with selectivity p, the expected number
+of ordered co-window pairs per event is approximately ``p^2 * f * w / 2``
+— inverting this yields the per-filter selectivity needed for a target
+sigma_o. ``calibrate_filter_selectivity`` performs the inversion
+numerically and is validated empirically in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.asp.time import MS_PER_MINUTE
+
+
+def seq2_output_selectivity(
+    filter_selectivity: float,
+    window_ms: int,
+    period_ms: int = MS_PER_MINUTE,
+    sensors: int = 1,
+) -> float:
+    """Expected sigma_o (fraction, not %) of a 2-way SEQ.
+
+    Both streams emit one event per sensor per ``period_ms``; both carry
+    an independent filter of selectivity ``p``. An event of the left type
+    pairs with every later filtered right event within the window, across
+    sensors (no key constraint): on average ``p * (W/period) * sensors /
+    2`` right partners per left event (the /2 from the temporal-order
+    constraint over symmetric arrivals). Matches per event of the merged
+    stream (2 events per period per sensor) follow directly.
+    """
+    p = filter_selectivity
+    w_slots = window_ms / period_ms
+    # A filtered left event co-windows with every filtered right event in
+    # the following W (grid-aligned timestamps, slide <= period): about
+    # p * w_slots * sensors partners.
+    matches_per_left = p * w_slots * sensors
+    # Left events are half of all events and carry the filter p themselves.
+    return p * matches_per_left / 2.0
+
+
+def calibrate_filter_selectivity(
+    target_output_selectivity: float,
+    window_ms: int,
+    period_ms: int = MS_PER_MINUTE,
+    sensors: int = 1,
+) -> float:
+    """Filter selectivity p so a 2-way SEQ yields ~``target`` sigma_o.
+
+    Closed form of the quadratic model above:
+    ``sigma_o = p^2 * w_slots * sensors / 2``  =>
+    ``p = sqrt(2 * sigma_o / (w_slots * sensors))``, clamped to (0, 1].
+    """
+    if target_output_selectivity < 0:
+        raise ValueError("selectivity must be non-negative")
+    w_slots = window_ms / period_ms
+    if w_slots <= 0:
+        raise ValueError("window must be positive")
+    p = math.sqrt(2.0 * target_output_selectivity / (w_slots * sensors))
+    return max(1e-9, min(1.0, p))
+
+
+def iter_output_matches_per_window(
+    filter_selectivity: float,
+    m: int,
+    window_ms: int,
+    period_ms: int = MS_PER_MINUTE,
+    sensors: int = 1,
+) -> float:
+    """Expected m-combinations per window for ITER^m (stam).
+
+    Qualifying events arrive approximately Poisson with mean
+    ``lam = p * sensors * W / period`` per window; the expected number of
+    ordered m-subsets is ``E[C(N, m)] = lam^m / m!`` (a standard Poisson
+    moment identity), which is smooth in p — crucial for calibration at
+    very low selectivities where integer combinatorics would floor to
+    zero.
+    """
+    lam = filter_selectivity * sensors * window_ms / period_ms
+    return lam**m / math.factorial(m)
+
+
+def calibrate_iter_filter(
+    target_matches_per_window: float,
+    m: int,
+    window_ms: int,
+    period_ms: int = MS_PER_MINUTE,
+    sensors: int = 1,
+) -> float:
+    """Filter selectivity so ITER^m yields ~``target`` matches/window.
+
+    Closed-form inverse of the Poisson model:
+    ``lam = (target * m!)^(1/m)``, ``p = lam * period / (W * sensors)``.
+    """
+    if target_matches_per_window < 0:
+        raise ValueError("target must be non-negative")
+    lam = (target_matches_per_window * math.factorial(m)) ** (1.0 / m)
+    p = lam * period_ms / (window_ms * sensors)
+    return max(1e-9, min(1.0, p))
+
+
+def calibrate_seq_n_filter(
+    target_matches_per_window: float,
+    n: int,
+    qualifying_per_window: float,
+) -> float:
+    """Per-type filter selectivity for an n-way SEQ.
+
+    With ``lam = p * qualifying_per_window`` filtered events per type per
+    window, ordered n-tuples across n distinct types number roughly
+    ``lam^n / n!`` — the same Poisson identity as iterations. Returns the
+    p that hits ``target`` matches per window.
+    """
+    lam = (target_matches_per_window * math.factorial(n)) ** (1.0 / n)
+    if qualifying_per_window <= 0:
+        raise ValueError("qualifying_per_window must be positive")
+    return max(1e-9, min(1.0, lam / qualifying_per_window))

@@ -1,0 +1,189 @@
+"""Tests for the pattern AST and validation/normalization rules."""
+
+import pytest
+
+from repro.asp.datamodel import TypeRegistry
+from repro.asp.operators.window import WindowSpec
+from repro.asp.time import minutes
+from repro.errors import PatternValidationError
+from repro.sea.ast import (
+    Conjunction,
+    Disjunction,
+    EventTypeRef,
+    Iteration,
+    NegatedSequence,
+    Pattern,
+    ReturnClause,
+    Sequence,
+    conj,
+    disj,
+    iteration,
+    nseq,
+    ref,
+    seq,
+)
+from repro.sea.parser import parse_pattern
+from repro.sea.predicates import Attr, Compare, Const
+from repro.sea.validation import (
+    contains_operator,
+    normalize,
+    pattern_length,
+    validate_pattern,
+)
+
+W = WindowSpec(size=minutes(15), slide=minutes(1))
+
+
+class TestAstNodes:
+    def test_ref_default_alias(self):
+        assert ref("Q").alias == "q"
+        assert ref("Q", "x").alias == "x"
+
+    def test_seq_requires_two_operands(self):
+        with pytest.raises(PatternValidationError):
+            Sequence((ref("Q"),))
+
+    def test_and_or_require_two_operands(self):
+        with pytest.raises(PatternValidationError):
+            Conjunction((ref("Q"),))
+        with pytest.raises(PatternValidationError):
+            Disjunction((ref("Q"),))
+
+    def test_iteration_count_positive(self):
+        with pytest.raises(PatternValidationError):
+            Iteration(ref("V"), 0)
+
+    def test_iteration_condition_sets_kind(self):
+        node = Iteration(ref("V"), 2, condition=lambda a, b: True)
+        assert node.condition_kind == "consecutive"
+
+    def test_nseq_same_type_rejected(self):
+        with pytest.raises(PatternValidationError):
+            NegatedSequence(ref("Q", "a"), ref("Q", "b"), ref("V", "c"))
+
+    def test_aliases_positional_order(self):
+        node = seq(ref("Q", "a"), conj(ref("V", "b"), ref("W", "c")))
+        assert node.aliases() == ["a", "b", "c"]
+
+    def test_render_nested(self):
+        node = seq(ref("Q", "a"), disj(ref("V", "b"), ref("W", "c")))
+        assert node.render() == "SEQ(Q a, OR(V b, W c))"
+
+    def test_iteration_render_includes_count(self):
+        assert iteration(ref("V", "v"), 3).render() == "ITER3(V v)"
+        assert iteration(ref("V", "v"), 3, minimum_occurrences=True).render() == "ITER3+(V v)"
+
+    def test_walk_visits_all_nodes(self):
+        node = seq(ref("Q", "a"), conj(ref("V", "b"), ref("W", "c")))
+        assert len(list(node.walk())) == 5
+
+
+class TestPattern:
+    def test_window_mandatory(self):
+        with pytest.raises(PatternValidationError, match="WITHIN"):
+            Pattern(root=seq(ref("Q"), ref("V")), window=None)
+
+    def test_distinct_event_types_preserve_order(self):
+        p = Pattern(seq(ref("Q", "a"), ref("V", "b"), ref("Q", "c")), window=W)
+        assert p.distinct_event_types() == ["Q", "V"]
+
+    def test_render_contains_clauses(self):
+        p = Pattern(
+            seq(ref("Q", "a"), ref("V", "b")),
+            where=Compare(">", Attr("a", "value"), Const(1)),
+            window=W,
+        )
+        text = p.render()
+        assert "PATTERN" in text and "WHERE" in text and "WITHIN" in text
+
+    def test_return_clause(self):
+        assert ReturnClause().is_star
+        assert not ReturnClause(("a.value",)).is_star
+
+
+class TestNormalization:
+    def test_nested_seq_flattens(self):
+        node = seq(ref("Q", "a"), seq(ref("V", "b"), ref("W", "c")))
+        flat = normalize(node)
+        assert isinstance(flat, Sequence)
+        assert [p.alias for p in flat.parts] == ["a", "b", "c"]
+
+    def test_nested_and_flattens(self):
+        node = conj(conj(ref("Q", "a"), ref("V", "b")), ref("W", "c"))
+        assert len(normalize(node).parts) == 3
+
+    def test_nested_or_flattens(self):
+        node = disj(ref("Q", "a"), disj(ref("V", "b"), ref("W", "c")))
+        assert len(normalize(node).parts) == 3
+
+    def test_mixed_operators_do_not_flatten_across(self):
+        node = seq(ref("Q", "a"), conj(ref("V", "b"), ref("W", "c")))
+        flat = normalize(node)
+        assert len(flat.parts) == 2
+        assert isinstance(flat.parts[1], Conjunction)
+
+    def test_deep_nesting(self):
+        node = seq(ref("A", "a"), seq(ref("B", "b"), seq(ref("C", "c"), ref("D", "d"))))
+        assert len(normalize(node).parts) == 4
+
+
+class TestValidation:
+    def test_duplicate_alias_rejected(self):
+        p = Pattern(seq(ref("Q", "x"), ref("V", "x")), window=W)
+        with pytest.raises(PatternValidationError, match="more than once"):
+            validate_pattern(p)
+
+    def test_unknown_type_with_registry(self):
+        p = Pattern(seq(ref("NOPE", "a"), ref("Q", "b")), window=W)
+        with pytest.raises(PatternValidationError, match="unknown event types"):
+            validate_pattern(p, registry=TypeRegistry.paper_default())
+
+    def test_known_types_pass(self):
+        p = Pattern(seq(ref("Q", "a"), ref("V", "b")), window=W)
+        validate_pattern(p, registry=TypeRegistry.paper_default())
+
+    def test_or_operand_restriction(self):
+        p = Pattern(disj(ref("Q", "a"), ref("V", "b")), window=W)
+        validate_pattern(p)
+        bad = Pattern(
+            Disjunction((ref("Q", "a"), seq(ref("V", "b"), ref("W", "c")))),
+            window=W,
+        )
+        with pytest.raises(PatternValidationError, match="OR operands"):
+            validate_pattern(bad)
+
+    def test_theorem2_slide_condition(self):
+        p = Pattern(
+            seq(ref("Q", "a"), ref("V", "b")),
+            window=WindowSpec(size=minutes(15), slide=minutes(5)),
+        )
+        with pytest.raises(PatternValidationError, match="Theorem 2"):
+            validate_pattern(p, min_inter_event_gap=minutes(1))
+        # fine when events are at least 5 minutes apart
+        validate_pattern(p, min_inter_event_gap=minutes(5))
+
+    def test_where_on_negated_alias_allowed(self):
+        p = parse_pattern(
+            "PATTERN SEQ(Q a, !V b, Q c) WHERE b.value > 10 WITHIN 5 MINUTES"
+        )
+        assert contains_operator(p, "NSEQ")
+
+    def test_indexed_iteration_aliases_referenceable(self):
+        parse_pattern(
+            "PATTERN ITER3(V v) WHERE v[1].value < v[3].value WITHIN 5 MINUTES"
+        )
+
+    def test_pattern_length_counts_contributing_events(self):
+        assert pattern_length(Pattern(seq(ref("Q", "a"), ref("V", "b")), window=W)) == 2
+        assert pattern_length(Pattern(iteration(ref("V", "v"), 5), window=W)) == 5
+        assert (
+            pattern_length(
+                Pattern(nseq(ref("Q", "a"), ref("V", "b"), ref("Q", "c")), window=W)
+            )
+            == 2  # negated event does not contribute to the match
+        )
+
+    def test_contains_operator(self):
+        p = Pattern(seq(ref("Q", "a"), ref("V", "b")), window=W)
+        assert contains_operator(p, "SEQ")
+        assert not contains_operator(p, "ITER")

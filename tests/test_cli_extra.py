@@ -1,0 +1,83 @@
+"""Additional CLI coverage: option flags, multiway, O2, engine choices."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def data_dir(tmp_path):
+    rc = main(["generate", "--out", str(tmp_path), "--segments", "2",
+               "--minutes", "90", "--air-quality"])
+    assert rc == 0
+    return tmp_path
+
+
+class TestCliOptions:
+    def test_run_with_o2(self, data_dir, capsys):
+        rc = main([
+            "run", "-p",
+            "PATTERN ITER2(V v) WHERE v.value < 30 WITHIN 10 MINUTES",
+            "--o2", "--stream", f"V={data_dir}/V.csv",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FASP-O2" in out
+
+    def test_run_with_o3(self, data_dir, capsys):
+        rc = main([
+            "run", "-p",
+            "PATTERN SEQ(Q a, V b) WHERE a.id = b.id WITHIN 10 MINUTES",
+            "--o3", "id",
+            "--stream", f"Q={data_dir}/Q.csv",
+            "--stream", f"V={data_dir}/V.csv",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FASP-O3" in out
+
+    def test_explain_with_multiway(self, capsys):
+        rc = main([
+            "explain", "-p", "PATTERN SEQ(Q a, V b, W c) WITHIN 10 MINUTES",
+            "--multiway",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MultiWayJoin" in out
+
+    def test_run_fcep_only(self, data_dir, capsys):
+        rc = main([
+            "run", "-p", "PATTERN SEQ(Q a, V b) WITHIN 10 MINUTES",
+            "--engine", "fcep",
+            "--stream", f"Q={data_dir}/Q.csv",
+            "--stream", f"V={data_dir}/V.csv",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[FCEP]" in out
+
+    def test_run_shows_limited_matches(self, data_dir, capsys):
+        rc = main([
+            "run", "-p", "PATTERN SEQ(Q a, V b) WITHIN 10 MINUTES",
+            "--show", "2",
+            "--stream", f"Q={data_dir}/Q.csv",
+            "--stream", f"V={data_dir}/V.csv",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("match:") <= 2
+
+    def test_advise_with_aq_stream(self, data_dir, capsys):
+        rc = main([
+            "advise", "-p",
+            "PATTERN ITER3(PM10 p) WITHIN 30 MINUTES",
+            "--stream", f"PM10={data_dir}/PM10.csv",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "O2" in out
+
+    def test_syntax_error_is_reported(self, capsys):
+        rc = main(["explain", "-p", "PATTERN SEQ(Q a V b) WITHIN 5 MINUTES"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,189 @@
+"""Composite pattern structures: operators nested inside one another.
+
+The paper's flat-pattern evaluation never exercises e.g. an iteration
+inside a sequence; the algebra and the mapping both support it, so these
+tests pin the semantics across the oracle, the NFA (where expressible)
+and the mapped plans.
+"""
+
+import random
+
+import pytest
+
+from repro.asp.datamodel import Event
+from repro.asp.operators.source import ListSource
+from repro.asp.time import minutes
+from repro.cep.matches import dedup, dedup_unordered
+from repro.cep.nfa import run_nfa
+from repro.cep.pattern_api import from_sea_pattern
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.translator import translate
+from repro.sea.parser import parse_pattern
+from repro.sea.semantics import evaluate_pattern
+
+MIN = minutes(1)
+
+
+def stream(seed, n=40, types=("Q", "V", "W")):
+    rng = random.Random(seed)
+    return [
+        Event(rng.choice(types), ts=i * MIN, id=rng.randint(1, 2),
+              value=round(rng.uniform(0, 100), 2))
+        for i in range(n)
+    ]
+
+
+def sources_for(events):
+    by_type = {}
+    for e in events:
+        by_type.setdefault(e.event_type, []).append(e)
+    return {t: ListSource(v, name=t, event_type=t) for t, v in by_type.items()}
+
+
+def oracle(pattern, events, unordered=False):
+    matches = evaluate_pattern(pattern, events)
+    key = (lambda m: m.ordered_dedup_key()) if unordered else (lambda m: m.dedup_key())
+    return {key(m) for m in matches}
+
+
+def fasp(pattern, events, options=None, unordered=False):
+    query = translate(pattern, sources_for(events), options or TranslationOptions())
+    query.execute()
+    matches = dedup_unordered(query.matches()) if unordered else dedup(query.matches())
+    key = (lambda m: m.ordered_dedup_key()) if unordered else (lambda m: m.dedup_key())
+    return {key(m) for m in matches}
+
+
+class TestIterationInsideSequence:
+    TEXT = "PATTERN SEQ(Q a, ITER2(V v)) WITHIN 6 MINUTES SLIDE 1 MINUTE"
+
+    def test_oracle_semantics(self):
+        """All iteration events must follow the sequence predecessor."""
+        events = [
+            Event("Q", ts=0),
+            Event("V", ts=MIN),
+            Event("V", ts=2 * MIN),
+        ]
+        pattern = parse_pattern(self.TEXT)
+        matches = evaluate_pattern(pattern, events)
+        assert len(matches) == 1
+        assert [e.event_type for e in matches[0].events] == ["Q", "V", "V"]
+
+    def test_iteration_before_predecessor_rejected(self):
+        events = [
+            Event("V", ts=0),
+            Event("Q", ts=MIN),
+            Event("V", ts=2 * MIN),
+        ]
+        pattern = parse_pattern(self.TEXT)
+        # The V at ts=0 precedes Q: only combinations entirely after Q count,
+        # and a single V remains — no pair.
+        assert evaluate_pattern(pattern, events) == []
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fasp_matches_oracle(self, seed):
+        events = stream(seed)
+        pattern = parse_pattern(self.TEXT)
+        assert fasp(pattern, events) == oracle(pattern, events)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_o1_matches_oracle(self, seed):
+        events = stream(seed)
+        pattern = parse_pattern(self.TEXT)
+        assert fasp(pattern, events, TranslationOptions.o1()) == oracle(pattern, events)
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_nfa_matches_oracle(self, seed):
+        events = stream(seed)
+        pattern = parse_pattern(self.TEXT)
+        got = {m.dedup_key() for m in dedup(run_nfa(from_sea_pattern(pattern), events))}
+        assert got == oracle(pattern, events)
+
+
+class TestSequenceBeforeIteration:
+    TEXT = "PATTERN SEQ(ITER2(Q q), V v) WITHIN 6 MINUTES SLIDE 1 MINUTE"
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_fasp_and_nfa_match_oracle(self, seed):
+        events = stream(seed)
+        pattern = parse_pattern(self.TEXT)
+        want = oracle(pattern, events)
+        assert fasp(pattern, events) == want
+        got = {m.dedup_key() for m in dedup(run_nfa(from_sea_pattern(pattern), events))}
+        assert got == want
+
+
+class TestDisjunctionInsideSequence:
+    TEXT = "PATTERN SEQ(Q a, OR(V x, W x2)) WITHIN 5 MINUTES SLIDE 1 MINUTE"
+
+    def test_oracle_semantics(self):
+        events = [Event("Q", ts=0), Event("W", ts=MIN)]
+        pattern = parse_pattern(self.TEXT)
+        assert len(evaluate_pattern(pattern, events)) == 1
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fasp_matches_oracle(self, seed):
+        events = stream(seed)
+        pattern = parse_pattern(self.TEXT)
+        assert fasp(pattern, events) == oracle(pattern, events)
+
+    def test_nfa_cannot_express(self):
+        from repro.errors import TranslationError
+
+        with pytest.raises(TranslationError):
+            from_sea_pattern(parse_pattern(self.TEXT))
+
+
+class TestConjunctionInsideSequence:
+    TEXT = "PATTERN SEQ(Q a, AND(V x, W y)) WITHIN 5 MINUTES SLIDE 1 MINUTE"
+
+    def test_oracle_requires_all_after_predecessor(self):
+        pattern = parse_pattern(self.TEXT)
+        good = [Event("Q", ts=0), Event("W", ts=MIN), Event("V", ts=2 * MIN)]
+        assert len(evaluate_pattern(pattern, good)) == 1
+        # W precedes Q: the conjunction is not entirely after Q.
+        bad = [Event("W", ts=0), Event("Q", ts=MIN), Event("V", ts=2 * MIN)]
+        assert evaluate_pattern(pattern, bad) == []
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fasp_matches_oracle(self, seed):
+        events = stream(seed)
+        pattern = parse_pattern(self.TEXT)
+        assert fasp(pattern, events, unordered=True) == oracle(
+            pattern, events, unordered=True
+        )
+
+
+class TestSequenceInsideConjunction:
+    TEXT = "PATTERN AND(SEQ(Q a, V b), W c) WITHIN 5 MINUTES SLIDE 1 MINUTE"
+
+    def test_oracle_semantics(self):
+        """The W may occur anywhere in the window; only Q < V is ordered."""
+        pattern = parse_pattern(self.TEXT)
+        events = [Event("W", ts=0), Event("Q", ts=MIN), Event("V", ts=2 * MIN)]
+        assert len(evaluate_pattern(pattern, events)) == 1
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fasp_matches_oracle(self, seed):
+        events = stream(seed)
+        pattern = parse_pattern(self.TEXT)
+        assert fasp(pattern, events, unordered=True) == oracle(
+            pattern, events, unordered=True
+        )
+
+
+class TestIterationWithPredicatesInsideSequence:
+    TEXT = (
+        "PATTERN SEQ(Q a, ITER2(V v)) "
+        "WHERE a.value > 30 AND v.value < 70 "
+        "WITHIN 6 MINUTES SLIDE 1 MINUTE"
+    )
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_all_engines_agree(self, seed):
+        events = stream(seed)
+        pattern = parse_pattern(self.TEXT)
+        want = oracle(pattern, events)
+        assert fasp(pattern, events) == want
+        got = {m.dedup_key() for m in dedup(run_nfa(from_sea_pattern(pattern), events))}
+        assert got == want

@@ -1,0 +1,203 @@
+"""Unit tests for the unified CEP/ASP data model."""
+
+import pytest
+
+from repro.asp.datamodel import (
+    Attribute,
+    ComplexEvent,
+    Event,
+    EventTypeInfo,
+    Schema,
+    TypeRegistry,
+    merge_events,
+)
+from repro.errors import SchemaError
+
+
+class TestEvent:
+    def test_core_attribute_access(self):
+        e = Event("Q", ts=100, id=7, value=3.5, lat=50.0, lon=8.0)
+        assert e["ts"] == 100
+        assert e["id"] == 7
+        assert e["value"] == 3.5
+        assert e["lat"] == 50.0
+        assert e["lon"] == 8.0
+        assert e["type"] == "Q"
+        assert e["event_type"] == "Q"
+
+    def test_extra_attribute_access(self):
+        e = Event("Q", ts=1, attrs={"a_ts": 42})
+        assert e["a_ts"] == 42
+
+    def test_unknown_attribute_raises_schema_error(self):
+        e = Event("Q", ts=1)
+        with pytest.raises(SchemaError, match="no attribute 'nope'"):
+            e["nope"]
+
+    def test_get_returns_default_for_missing(self):
+        e = Event("Q", ts=1)
+        assert e.get("missing", 5) == 5
+        assert e.get("ts") == 1
+
+    def test_has_attribute(self):
+        e = Event("Q", ts=1, attrs={"x": 1})
+        assert e.has_attribute("ts")
+        assert e.has_attribute("x")
+        assert not e.has_attribute("y")
+
+    def test_with_attrs_overrides_core_field(self):
+        e = Event("Q", ts=1, value=2.0)
+        e2 = e.with_attrs(value=9.0)
+        assert e2.value == 9.0
+        assert e.value == 2.0  # original untouched
+
+    def test_with_attrs_adds_extra(self):
+        e = Event("Q", ts=1)
+        e2 = e.with_attrs(a_ts=77)
+        assert e2["a_ts"] == 77
+        assert e.attrs is None
+
+    def test_with_attrs_merges_existing_extras(self):
+        e = Event("Q", ts=1, attrs={"x": 1})
+        e2 = e.with_attrs(y=2)
+        assert e2["x"] == 1 and e2["y"] == 2
+
+    def test_equality_and_hash(self):
+        a = Event("Q", ts=1, id=2, value=3.0)
+        b = Event("Q", ts=1, id=2, value=3.0)
+        c = Event("Q", ts=1, id=2, value=4.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_considers_extras(self):
+        a = Event("Q", ts=1, attrs={"x": 1})
+        b = Event("Q", ts=1, attrs={"x": 2})
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert Event("Q", ts=1) != "Q"
+
+    def test_as_dict_round_trips_core_fields(self):
+        e = Event("Q", ts=5, id=1, value=2.0, attrs={"k": "v"})
+        d = e.as_dict()
+        assert d["type"] == "Q" and d["ts"] == 5 and d["k"] == "v"
+
+    def test_approx_size_grows_with_attrs(self):
+        small = Event("Q", ts=1)
+        big = Event("Q", ts=1, attrs={"a": 1, "b": 2})
+        assert big.approx_size_bytes() > small.approx_size_bytes()
+
+    def test_repr_mentions_type_and_ts(self):
+        assert "Q" in repr(Event("Q", ts=9))
+
+
+class TestComplexEvent:
+    def test_ts_bounds(self):
+        ce = ComplexEvent((Event("Q", ts=10), Event("V", ts=30), Event("Q", ts=20)))
+        assert ce.ts_b == 10
+        assert ce.ts_e == 30
+        assert ce.duration == 20
+
+    def test_default_assigned_ts_is_minimum(self):
+        ce = ComplexEvent((Event("Q", ts=10), Event("V", ts=30)))
+        assert ce.ts == 10  # partial-match semantics (paper Section 4.2.2)
+
+    def test_explicit_ts(self):
+        ce = ComplexEvent((Event("Q", ts=10), Event("V", ts=30)), ts=30)
+        assert ce.ts == 30
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            ComplexEvent(())
+
+    def test_dedup_key_is_order_sensitive(self):
+        q, v = Event("Q", ts=1), Event("V", ts=2)
+        assert ComplexEvent((q, v)).dedup_key() != ComplexEvent((v, q)).dedup_key()
+
+    def test_ordered_dedup_key_is_order_insensitive(self):
+        q, v = Event("Q", ts=1), Event("V", ts=2)
+        a = ComplexEvent((q, v)).ordered_dedup_key()
+        b = ComplexEvent((v, q)).ordered_dedup_key()
+        assert a == b
+
+    def test_equality_via_dedup_key(self):
+        q, v = Event("Q", ts=1), Event("V", ts=2)
+        assert ComplexEvent((q, v)) == ComplexEvent((q, v))
+        assert hash(ComplexEvent((q, v))) == hash(ComplexEvent((q, v)))
+
+    def test_len_and_iteration(self):
+        events = (Event("Q", ts=1), Event("V", ts=2))
+        ce = ComplexEvent(events)
+        assert len(ce) == 2
+        assert tuple(ce) == events
+
+
+class TestSchema:
+    def test_of_builder(self):
+        s = Schema.of("a", "b")
+        assert s.names == ("a", "b")
+        assert "a" in s and "c" not in s
+        assert len(s) == 2
+
+    def test_sensor_schema_matches_paper(self):
+        assert Schema.sensor_schema().names == ("id", "lat", "lon", "ts", "value")
+
+    def test_union_compatibility_same_schema(self):
+        assert Schema.of("a", "b").union_compatible(Schema.of("a", "b"))
+
+    def test_union_incompatible_different_names(self):
+        assert not Schema.of("a", "b").union_compatible(Schema.of("a", "c"))
+
+    def test_union_incompatible_different_arity(self):
+        assert not Schema.of("a").union_compatible(Schema.of("a", "b"))
+
+    def test_union_incompatible_different_types(self):
+        left = Schema((Attribute("a", int),))
+        right = Schema((Attribute("a", float),))
+        assert not left.union_compatible(right)
+
+    def test_require_union_compatible_raises(self):
+        with pytest.raises(SchemaError, match="not union compatible"):
+            Schema.of("a").require_union_compatible(Schema.of("b"))
+
+
+class TestTypeRegistry:
+    def test_declare_and_get(self):
+        reg = TypeRegistry()
+        reg.declare("Q")
+        assert "Q" in reg
+        assert reg.get("Q").name == "Q"
+
+    def test_duplicate_registration_rejected(self):
+        reg = TypeRegistry()
+        reg.declare("Q")
+        with pytest.raises(SchemaError, match="already registered"):
+            reg.declare("Q")
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError, match="unknown event type"):
+            TypeRegistry().get("nope")
+
+    def test_paper_default_has_six_types(self):
+        reg = TypeRegistry.paper_default()
+        assert set(reg.names()) == {"Q", "V", "PM10", "PM2", "TEMP", "HUM"}
+        assert len(reg) == 6
+
+    def test_registry_iterates_infos(self):
+        reg = TypeRegistry([EventTypeInfo("A"), EventTypeInfo("B")])
+        assert [i.name for i in reg] == ["A", "B"]
+
+
+class TestMergeEvents:
+    def test_merges_by_timestamp(self):
+        a = [Event("Q", ts=3), Event("Q", ts=1)]
+        b = [Event("V", ts=2)]
+        merged = merge_events(a, b)
+        assert [e.ts for e in merged] == [1, 2, 3]
+
+    def test_deterministic_tie_break(self):
+        a = [Event("Q", ts=1, id=2)]
+        b = [Event("Q", ts=1, id=1)]
+        merged = merge_events(a, b)
+        assert [e.id for e in merged] == [1, 2]

@@ -1,0 +1,307 @@
+"""Cross-engine semantic equivalence — the reproduction's core guarantee.
+
+For identical streams, the brute-force oracle (formal semantics), the NFA
+engine (FCEP analog, skip-till-any-match) and every mapped ASP plan must
+produce the same match sets after duplicate elimination (the paper's
+notion of query equivalence after Negri et al.). Streams are grid-aligned
+per Theorem 2 (one event per minute slot), matching the paper's
+per-minute sensor data.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asp.datamodel import Event
+from repro.asp.operators.source import ListSource
+from repro.asp.time import minutes
+from repro.cep.matches import dedup, dedup_unordered
+from repro.cep.nfa import run_nfa
+from repro.cep.pattern_api import from_sea_pattern
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.translator import translate
+from repro.sea.parser import parse_pattern
+from repro.sea.semantics import evaluate_pattern
+
+MIN = minutes(1)
+
+ALL_OPTIONS = [
+    TranslationOptions.fasp(),
+    TranslationOptions.o1(),
+]
+
+KEYED_OPTIONS = ALL_OPTIONS + [
+    TranslationOptions.o3(),
+    TranslationOptions.o1_o3(),
+]
+
+
+def make_stream(seed, n=50, types=("Q", "V", "W"), ids=(1, 2)):
+    rng = random.Random(seed)
+    return [
+        Event(
+            rng.choice(types),
+            ts=i * MIN,
+            id=rng.choice(ids),
+            value=round(rng.uniform(0, 100), 3),
+        )
+        for i in range(n)
+    ]
+
+
+def sources_for(events):
+    by_type = {}
+    for e in events:
+        by_type.setdefault(e.event_type, []).append(e)
+    return {
+        t: ListSource(lst, name=f"src[{t}]", event_type=t)
+        for t, lst in by_type.items()
+    }
+
+
+def run_mapped(pattern, events, options):
+    query = translate(pattern, sources_for(events), options)
+    query.execute()
+    return query.matches()
+
+
+def oracle_set(pattern, events, unordered=False):
+    matches = evaluate_pattern(pattern, events)
+    if unordered:
+        return {m.ordered_dedup_key() for m in matches}
+    return {m.dedup_key() for m in matches}
+
+
+def mapped_set(pattern, events, options, unordered=False):
+    matches = run_mapped(pattern, events, options)
+    if unordered:
+        return {m.ordered_dedup_key() for m in dedup_unordered(matches)}
+    return {m.dedup_key() for m in dedup(matches)}
+
+
+PATTERNS = [
+    ("PATTERN SEQ(Q a, V b) WITHIN 7 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN SEQ(Q a, V b) WHERE a.value > 40 WITHIN 7 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN SEQ(Q a, V b, W c) WITHIN 5 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN SEQ(Q a, V b) WHERE a.value < b.value WITHIN 6 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN AND(Q a, V b) WITHIN 4 MINUTES SLIDE 1 MINUTE", True),
+    ("PATTERN OR(Q a, V b) WITHIN 4 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN ITER2(V v) WITHIN 5 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN ITER3(V v) WHERE v.value < 60 WITHIN 6 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN SEQ(Q a, !W x, V b) WITHIN 6 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN SEQ(Q a, !W x, V b) WHERE x.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE", False),
+]
+
+KEYED_PATTERNS = [
+    ("PATTERN SEQ(Q a, V b) WHERE a.id = b.id WITHIN 7 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN SEQ(Q a, V b, W c) WHERE a.id = b.id AND b.id = c.id "
+     "WITHIN 6 MINUTES SLIDE 1 MINUTE", False),
+    ("PATTERN AND(Q a, V b) WHERE a.id = b.id WITHIN 4 MINUTES SLIDE 1 MINUTE", True),
+]
+
+
+class TestNfaMatchesOracle:
+    @pytest.mark.parametrize("text,unordered", PATTERNS)
+    def test_nfa_equals_oracle(self, text, unordered):
+        pattern = parse_pattern(text)
+        if " AND(" in text or " OR(" in text:
+            pytest.skip("FCEP does not support AND/OR (paper Table 2)")
+        for seed in (1, 2, 3):
+            events = make_stream(seed)
+            nfa_matches = dedup(run_nfa(from_sea_pattern(pattern), events))
+            got = {m.dedup_key() for m in nfa_matches}
+            assert got == oracle_set(pattern, events), f"seed={seed}"
+
+
+class TestMappedMatchesOracle:
+    @pytest.mark.parametrize("text,unordered", PATTERNS)
+    @pytest.mark.parametrize("options", ALL_OPTIONS, ids=lambda o: o.label())
+    def test_mapped_equals_oracle(self, text, unordered, options):
+        pattern = parse_pattern(text)
+        for seed in (1, 2):
+            events = make_stream(seed)
+            got = mapped_set(pattern, events, options, unordered=unordered)
+            want = oracle_set(pattern, events, unordered=unordered)
+            assert got == want, f"seed={seed}"
+
+    @pytest.mark.parametrize("text,unordered", KEYED_PATTERNS)
+    @pytest.mark.parametrize("options", KEYED_OPTIONS, ids=lambda o: o.label())
+    def test_keyed_mapped_equals_oracle(self, text, unordered, options):
+        pattern = parse_pattern(text)
+        for seed in (4, 5):
+            events = make_stream(seed)
+            got = mapped_set(pattern, events, options, unordered=unordered)
+            want = oracle_set(pattern, events, unordered=unordered)
+            assert got == want, f"seed={seed}"
+
+
+class TestO2Approximation:
+    def test_aggregate_fires_iff_combinations_exist(self):
+        """O2 is approximate (one output per window), but it must fire in
+        exactly the windows where the exact iteration has matches."""
+        pattern = parse_pattern(
+            "PATTERN ITER3(V v) WHERE v.value < 50 WITHIN 5 MINUTES SLIDE 1 MINUTE"
+        )
+        for seed in (1, 2, 3):
+            events = make_stream(seed, types=("V",))
+            exact = evaluate_pattern(pattern, events)
+            approx = run_mapped(pattern, events, TranslationOptions.o2())
+            assert (len(exact) > 0) == (len(approx) > 0), f"seed={seed}"
+
+    def test_kleene_plus_via_o2(self):
+        pattern = parse_pattern(
+            "PATTERN ITER2+(V v) WHERE v.value < 50 WITHIN 5 MINUTES SLIDE 1 MINUTE"
+        )
+        events = make_stream(7, types=("V",))
+        exact = evaluate_pattern(pattern, events)
+        approx = run_mapped(pattern, events, TranslationOptions.o2())
+        assert (len(exact) > 0) == (len(approx) > 0)
+
+
+class TestThreeWayAgreementProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        window_slots=st.integers(min_value=2, max_value=8),
+    )
+    def test_oracle_nfa_and_mapping_agree_on_random_seq(self, seed, window_slots):
+        events = make_stream(seed, n=40)
+        pattern = parse_pattern(
+            f"PATTERN SEQ(Q a, V b) WITHIN {window_slots} MINUTES SLIDE 1 MINUTE"
+        )
+        want = oracle_set(pattern, events)
+        nfa = {m.dedup_key() for m in dedup(run_nfa(from_sea_pattern(pattern), events))}
+        fasp = mapped_set(pattern, events, TranslationOptions.fasp())
+        o1 = mapped_set(pattern, events, TranslationOptions.o1())
+        assert nfa == want
+        assert fasp == want
+        assert o1 == want
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_agreement_on_random_nseq(self, seed):
+        events = make_stream(seed, n=40)
+        pattern = parse_pattern(
+            "PATTERN SEQ(Q a, !W x, V b) WITHIN 5 MINUTES SLIDE 1 MINUTE"
+        )
+        want = oracle_set(pattern, events)
+        nfa = {m.dedup_key() for m in dedup(run_nfa(from_sea_pattern(pattern), events))}
+        fasp = mapped_set(pattern, events, TranslationOptions.fasp())
+        assert nfa == want
+        assert fasp == want
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           m=st.integers(min_value=2, max_value=3))
+    def test_agreement_on_random_iteration(self, seed, m):
+        events = make_stream(seed, n=30, types=("V", "W"))
+        pattern = parse_pattern(
+            f"PATTERN ITER{m}(V v) WHERE v.value < 70 WITHIN 4 MINUTES SLIDE 1 MINUTE"
+        )
+        want = oracle_set(pattern, events)
+        nfa = {m_.dedup_key() for m_ in dedup(run_nfa(from_sea_pattern(pattern), events))}
+        fasp = mapped_set(pattern, events, TranslationOptions.fasp())
+        assert nfa == want
+        assert fasp == want
+
+
+class TestNseqBoundaryRegression:
+    def test_blocker_exactly_at_e3_does_not_block(self):
+        """Eq. 14 blocks on the open interval (e1.ts, e3.ts): a qualifying
+        T2 event exactly at e3.ts must not suppress the match. The paper's
+        Listing 6 writes a strict a_ts > e3.ts, which would wrongly reject
+        this boundary; the mapping uses >= (see rules.py)."""
+        events = [
+            Event("Q", ts=0, id=1, value=1.0),
+            Event("W", ts=2 * MIN, id=1, value=1.0),  # blocker AT e3.ts
+            Event("V", ts=2 * MIN, id=2, value=1.0),
+        ]
+        pattern = parse_pattern(
+            "PATTERN SEQ(Q a, !W x, V b) WITHIN 5 MINUTES SLIDE 1 MINUTE"
+        )
+        want = oracle_set(pattern, events)
+        assert len(want) == 1
+        got = mapped_set(pattern, events, TranslationOptions.fasp())
+        assert got == want
+        nfa = {m.dedup_key() for m in dedup(run_nfa(from_sea_pattern(pattern), events))}
+        assert nfa == want
+
+    def test_same_type_on_both_positive_sides_with_ties(self):
+        """Regression: NSEQ over the same event type with multi-sensor
+        timestamp ties (the air-quality example workload)."""
+        import random
+
+        rng = random.Random(0)
+        pm, hum = [], []
+        for i in range(30):
+            for sensor in (1, 2, 3):
+                pm.append(Event("PM10", ts=i * 4 * MIN, id=sensor,
+                                value=rng.uniform(0, 120)))
+                hum.append(Event("HUM", ts=i * 4 * MIN, id=sensor,
+                                 value=rng.uniform(10, 100)))
+        events = sorted(pm + hum, key=lambda e: (e.ts, e.event_type, e.id))
+        pattern = parse_pattern(
+            "PATTERN SEQ(PM10 a, !HUM h, PM10 b) "
+            "WHERE a.value > 100 AND b.value > 100 AND h.value > 90 "
+            "WITHIN 40 MINUTES SLIDE 1 MINUTE"
+        )
+        want = oracle_set(pattern, events)
+        got = mapped_set(pattern, events, TranslationOptions.fasp())
+        nfa = {m.dedup_key() for m in dedup(run_nfa(from_sea_pattern(pattern), events))}
+        assert got == want
+        assert nfa == want
+
+
+class TestKeyedNseq:
+    def test_o3_nseq_blocks_per_key(self):
+        """Under O3 the NSEQ's negation is scoped per key (the keyed
+        next-occurrence UDF): a blocker on sensor 2 must not suppress a
+        match on sensor 1. Validated against the oracle evaluated on each
+        key's substream independently."""
+        rng = random.Random(17)
+        events = [
+            Event(rng.choice(["Q", "W", "V"]), ts=i * MIN, id=rng.choice((1, 2)),
+                  value=round(rng.uniform(0, 100), 2))
+            for i in range(60)
+        ]
+        pattern = parse_pattern(
+            "PATTERN SEQ(Q a, !W x, V b) WHERE a.id = b.id "
+            "WITHIN 6 MINUTES SLIDE 1 MINUTE"
+        )
+        query = translate(
+            pattern, sources_for(events), TranslationOptions.o3()
+        )
+        query.execute()
+        got = {m.dedup_key() for m in dedup(query.matches())}
+        # Oracle: evaluate the unkeyed pattern per key substream.
+        want = set()
+        for key in (1, 2):
+            sub = [e for e in events if e.id == key]
+            per_key = parse_pattern(
+                "PATTERN SEQ(Q a, !W x, V b) WITHIN 6 MINUTES SLIDE 1 MINUTE"
+            )
+            want |= {m.dedup_key() for m in evaluate_pattern(per_key, sub)}
+        assert got == want
+
+    def test_unkeyed_nseq_blocks_across_keys(self):
+        """Without O3 the negation is global: any qualifying blocker
+        suppresses, regardless of sensor (Eq. 14 verbatim)."""
+        events = [
+            Event("Q", ts=0, id=1),
+            Event("W", ts=MIN, id=2),   # blocker on a DIFFERENT sensor
+            Event("V", ts=2 * MIN, id=1),
+        ]
+        pattern = parse_pattern(
+            "PATTERN SEQ(Q a, !W x, V b) WITHIN 6 MINUTES SLIDE 1 MINUTE"
+        )
+        assert oracle_set(pattern, events) == set()
+        assert mapped_set(pattern, events, TranslationOptions.fasp()) == set()
+        # Keyed variant: the cross-sensor blocker does not block.
+        keyed = parse_pattern(
+            "PATTERN SEQ(Q a, !W x, V b) WHERE a.id = b.id "
+            "WITHIN 6 MINUTES SLIDE 1 MINUTE"
+        )
+        query = translate(keyed, sources_for(events), TranslationOptions.o3())
+        query.execute()
+        assert len(query.matches()) == 1

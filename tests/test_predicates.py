@@ -1,0 +1,194 @@
+"""Tests for the predicate expression trees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asp.datamodel import Event
+from repro.errors import PatternValidationError
+from repro.sea.predicates import (
+    And,
+    Arith,
+    Attr,
+    Compare,
+    Const,
+    Not,
+    Or,
+    TruePredicate,
+    attr,
+    classify_conjuncts,
+    cmp,
+    compile_single_alias,
+    conjunction_of,
+    const,
+)
+
+
+def binding(**events):
+    return events
+
+
+Q = Event("Q", ts=10, id=1, value=50.0)
+V = Event("V", ts=20, id=1, value=30.0)
+
+
+class TestExpressions:
+    def test_const(self):
+        assert Const(5).evaluate({}) == 5
+        assert Const(5).aliases() == frozenset()
+
+    def test_attr_reads_binding(self):
+        assert Attr("q", "value").evaluate({"q": Q}) == 50.0
+        assert Attr("q", "ts").evaluate({"q": Q}) == 10
+
+    def test_attr_unbound_alias_raises(self):
+        with pytest.raises(PatternValidationError, match="unbound alias"):
+            Attr("x", "value").evaluate({"q": Q})
+
+    @pytest.mark.parametrize("op,expected", [("+", 8), ("-", 2), ("*", 15), ("/", 5 / 3)])
+    def test_arith(self, op, expected):
+        assert Arith(op, Const(5), Const(3)).evaluate({}) == expected
+
+    def test_arith_unknown_op(self):
+        with pytest.raises(ValueError):
+            Arith("%", Const(1), Const(2))
+
+    def test_nested_arith_aliases(self):
+        expr = Arith("+", Attr("a", "value"), Attr("b", "value"))
+        assert expr.aliases() == {"a", "b"}
+
+    def test_render(self):
+        expr = Arith("+", Attr("a", "value"), Const(3))
+        assert expr.render() == "(a.value + 3)"
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [("=", 1, 1, True), ("==", 1, 2, False), ("!=", 1, 2, True),
+         ("<", 1, 2, True), ("<=", 2, 2, True), (">", 1, 2, False),
+         (">=", 3, 2, True)],
+    )
+    def test_all_operators(self, op, left, right, expected):
+        assert Compare(op, Const(left), Const(right)).evaluate({}) is expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Compare("<>", Const(1), Const(2))
+
+    def test_equi_join_detection(self):
+        comp = Compare("=", Attr("a", "id"), Attr("b", "id"))
+        assert comp.equi_join_attributes() == (("a", "id"), ("b", "id"))
+
+    def test_equi_join_requires_distinct_aliases(self):
+        comp = Compare("=", Attr("a", "id"), Attr("a", "value"))
+        assert comp.equi_join_attributes() is None
+
+    def test_equi_join_requires_equality(self):
+        comp = Compare("<", Attr("a", "id"), Attr("b", "id"))
+        assert comp.equi_join_attributes() is None
+
+    def test_equi_join_requires_attrs_not_consts(self):
+        comp = Compare("=", Attr("a", "id"), Const(5))
+        assert comp.equi_join_attributes() is None
+
+
+class TestBooleanCombinators:
+    def test_and_or_not(self):
+        t, f = Compare("=", Const(1), Const(1)), Compare("=", Const(1), Const(2))
+        assert And(t, t).evaluate({})
+        assert not And(t, f).evaluate({})
+        assert Or(f, t).evaluate({})
+        assert not Or(f, f).evaluate({})
+        assert Not(f).evaluate({})
+
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate({})
+        assert TruePredicate().conjuncts() == []
+
+    def test_conjuncts_flatten_nested_ands(self):
+        a = Compare("=", Const(1), Const(1))
+        b = Compare("=", Const(2), Const(2))
+        c = Compare("=", Const(3), Const(3))
+        nested = And(And(a, b), c)
+        assert nested.conjuncts() == [a, b, c]
+
+    def test_or_is_single_conjunct(self):
+        a = Compare("=", Const(1), Const(1))
+        assert len(Or(a, a).conjuncts()) == 1
+
+    def test_conjunction_of_round_trips(self):
+        a = Compare("=", Attr("x", "ts"), Const(1))
+        b = Compare("<", Attr("y", "ts"), Const(2))
+        rebuilt = conjunction_of([a, b])
+        assert rebuilt.conjuncts() == [a, b]
+
+    def test_conjunction_of_empty_is_true(self):
+        assert isinstance(conjunction_of([]), TruePredicate)
+
+    def test_conjunction_of_skips_true(self):
+        a = Compare("=", Const(1), Const(1))
+        assert conjunction_of([TruePredicate(), a]) is a
+
+
+class TestClassification:
+    def test_splits_single_equi_multi(self):
+        where = And(
+            And(
+                Compare(">", Attr("q", "value"), Const(10)),       # single
+                Compare("=", Attr("q", "id"), Attr("v", "id")),    # equi
+            ),
+            Compare("<", Attr("q", "value"), Attr("v", "value")),  # multi
+        )
+        single, equi, multi = classify_conjuncts(where)
+        assert list(single) == ["q"]
+        assert len(single["q"]) == 1
+        assert len(equi) == 1
+        assert len(multi) == 1
+
+    def test_constant_conjunct_goes_to_empty_alias(self):
+        where = Compare("=", Const(1), Const(1))
+        single, equi, multi = classify_conjuncts(where)
+        assert "" in single
+
+    def test_true_predicate_classifies_empty(self):
+        single, equi, multi = classify_conjuncts(TruePredicate())
+        assert not single and not equi and not multi
+
+    def test_inequality_between_aliases_is_multi(self):
+        where = Compare("!=", Attr("a", "id"), Attr("b", "id"))
+        _single, equi, multi = classify_conjuncts(where)
+        assert not equi and len(multi) == 1
+
+
+class TestCompileSingleAlias:
+    def test_compiled_filter(self):
+        check = compile_single_alias(
+            [Compare(">", Attr("q", "value"), Const(40))], "q"
+        )
+        assert check(Q)
+        assert not check(V.with_attrs(value=10.0))
+
+    def test_empty_predicates_accept_all(self):
+        check = compile_single_alias([], "q")
+        assert check(Q)
+
+
+class TestConvenienceConstructors:
+    def test_attr_const_cmp(self):
+        pred = cmp("<", attr("q", "value"), const(100))
+        assert pred.evaluate({"q": Q})
+
+
+class TestEvaluationProperties:
+    @given(x=st.floats(allow_nan=False, allow_infinity=False, width=32),
+           y=st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_comparison_trichotomy(self, x, y):
+        lt = Compare("<", Const(x), Const(y)).evaluate({})
+        eq = Compare("=", Const(x), Const(y)).evaluate({})
+        gt = Compare(">", Const(x), Const(y)).evaluate({})
+        assert sum([lt, eq, gt]) == 1
+
+    @given(v=st.floats(min_value=-1e6, max_value=1e6))
+    def test_not_is_involution(self, v):
+        pred = Compare("<", Const(v), Const(0))
+        assert Not(Not(pred)).evaluate({}) == pred.evaluate({})

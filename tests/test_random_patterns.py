@@ -1,0 +1,161 @@
+"""Property tests over randomly generated patterns.
+
+A hypothesis strategy builds random (but valid) SEA patterns; the
+properties assert:
+
+* parse(render(p)) is a fixed point (the PSL round-trips);
+* every mapped plan agrees with the formal oracle on random streams;
+* the NFA agrees too whenever the pattern is FCEP-expressible.
+
+This is the widest net in the suite: it composes arbitrary flat and
+nested structures the hand-written tests do not enumerate.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asp.datamodel import Event
+from repro.asp.operators.source import ListSource
+from repro.asp.time import minutes
+from repro.cep.matches import dedup
+from repro.cep.nfa import run_nfa
+from repro.cep.pattern_api import from_sea_pattern
+from repro.errors import TranslationError
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.translator import translate
+from repro.sea.parser import parse_pattern
+from repro.sea.semantics import evaluate_pattern
+
+MIN = minutes(1)
+
+TYPES = ["Q", "V", "W"]
+
+# -- pattern text generation ---------------------------------------------------
+
+_alias_counter = st.integers(min_value=0, max_value=0)  # placeholder
+
+
+@st.composite
+def _type_refs(draw, count):
+    """``count`` type references with unique aliases."""
+    refs = []
+    for index in range(count):
+        event_type = draw(st.sampled_from(TYPES))
+        refs.append(f"{event_type} x{index}")
+    return refs
+
+
+@st.composite
+def flat_pattern_text(draw):
+    operator = draw(st.sampled_from(["SEQ", "AND", "OR", "ITER"]))
+    if operator == "ITER":
+        m = draw(st.integers(min_value=2, max_value=3))
+        event_type = draw(st.sampled_from(TYPES))
+        structure = f"ITER{m}({event_type} v)"
+        aliases = ["v"]
+    else:
+        n = draw(st.integers(min_value=2, max_value=3))
+        refs = draw(_type_refs(n))
+        structure = f"{operator}({', '.join(refs)})"
+        aliases = [r.split()[1] for r in refs]
+    clauses = []
+    if draw(st.booleans()) and operator != "OR":
+        alias = draw(st.sampled_from(aliases))
+        op = draw(st.sampled_from([">", "<", ">=", "<="]))
+        threshold = draw(st.integers(min_value=10, max_value=90))
+        clauses.append(f"{alias}.value {op} {threshold}")
+    if operator in ("SEQ", "AND") and len(aliases) >= 2 and draw(st.booleans()):
+        clauses.append(f"{aliases[0]}.id = {aliases[1]}.id")
+    where = f"WHERE {' AND '.join(clauses)} " if clauses else ""
+    window = draw(st.integers(min_value=3, max_value=8))
+    return f"PATTERN {structure} {where}WITHIN {window} MINUTES SLIDE 1 MINUTE"
+
+
+@st.composite
+def nested_pattern_text(draw):
+    inner_op = draw(st.sampled_from(["SEQ", "AND"]))
+    outer_op = draw(st.sampled_from(["SEQ", "AND"]))
+    refs = draw(_type_refs(3))
+    structure = f"{outer_op}({refs[0]}, {inner_op}({refs[1]}, {refs[2]}))"
+    window = draw(st.integers(min_value=3, max_value=6))
+    return f"PATTERN {structure} WITHIN {window} MINUTES SLIDE 1 MINUTE"
+
+
+def make_stream(seed, n=30):
+    rng = random.Random(seed)
+    return [
+        Event(rng.choice(TYPES), ts=i * MIN, id=rng.randint(1, 2),
+              value=round(rng.uniform(0, 100), 2))
+        for i in range(n)
+    ]
+
+
+def sources_for(events):
+    by_type = {}
+    for e in events:
+        by_type.setdefault(e.event_type, []).append(e)
+    return {t: ListSource(v, name=t, event_type=t) for t, v in by_type.items()}
+
+
+def keyset(matches, unordered):
+    if unordered:
+        return {m.ordered_dedup_key() for m in matches}
+    return {m.dedup_key() for m in matches}
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(text=flat_pattern_text())
+    def test_parse_render_parse_is_stable(self, text):
+        first = parse_pattern(text)
+        second = parse_pattern(first.render())
+        assert first.root.render() == second.root.render()
+        assert first.window == second.window
+        assert first.where.render() == second.where.render()
+
+    @settings(max_examples=20, deadline=None)
+    @given(text=nested_pattern_text())
+    def test_nested_round_trip(self, text):
+        first = parse_pattern(text)
+        second = parse_pattern(first.render())
+        assert first.root.render() == second.root.render()
+
+
+class TestRandomPatternEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(text=flat_pattern_text(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_mapped_plans_agree_with_oracle(self, text, seed):
+        pattern = parse_pattern(text)
+        events = make_stream(seed)
+        unordered = pattern.root.keyword in ("AND",)
+        want = keyset(evaluate_pattern(pattern, events), unordered)
+        for options in (TranslationOptions.fasp(), TranslationOptions.o1()):
+            query = translate(pattern, sources_for(events), options)
+            query.execute()
+            got = keyset(dedup(query.matches()), unordered)
+            assert got == want, (text, options.label())
+
+    @settings(max_examples=15, deadline=None)
+    @given(text=nested_pattern_text(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_nested_patterns_agree_with_oracle(self, text, seed):
+        pattern = parse_pattern(text)
+        events = make_stream(seed)
+        want = keyset(evaluate_pattern(pattern, events), unordered=True)
+        query = translate(pattern, sources_for(events))
+        query.execute()
+        got = keyset(query.matches(), unordered=True)
+        assert got == want, text
+
+    @settings(max_examples=20, deadline=None)
+    @given(text=flat_pattern_text(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_nfa_agrees_when_expressible(self, text, seed):
+        pattern = parse_pattern(text)
+        events = make_stream(seed)
+        try:
+            cep = from_sea_pattern(pattern)
+        except TranslationError:
+            return  # AND/OR: not FCEP-expressible (paper Table 2)
+        want = keyset(evaluate_pattern(pattern, events), unordered=False)
+        got = keyset(dedup(run_nfa(cep, events)), unordered=False)
+        assert got == want, text

@@ -1,0 +1,190 @@
+"""Tests for the executable reference semantics (the oracle).
+
+Each SEA operator's formal definition (Eqs. 9-12, 14) is checked against
+hand-computed expectations on small streams, plus the windowing theorems
+of Section 3.1.3.
+"""
+
+import pytest
+
+from repro.asp.datamodel import Event
+from repro.asp.operators.window import WindowSpec
+from repro.asp.time import minutes
+from repro.errors import PatternValidationError
+from repro.sea.ast import Pattern, conj, disj, iteration, nseq, ref, seq
+from repro.sea.parser import parse_pattern
+from repro.sea.semantics import evaluate_pattern, evaluate_window, match_set
+
+MIN = minutes(1)
+W = WindowSpec(size=5 * MIN, slide=MIN)
+
+
+def ev(event_type, minute, value=0.0, id=1):
+    return Event(event_type, ts=minute * MIN, id=id, value=value)
+
+
+class TestSequenceSemantics:
+    def test_eq10_temporal_order(self):
+        events = [ev("Q", 0), ev("V", 1), ev("V", 2), ev("Q", 3)]
+        p = Pattern(seq(ref("Q", "q"), ref("V", "v")), window=W)
+        matches = evaluate_window(p, events)
+        pairs = {(m.events[0].ts, m.events[1].ts) for m in matches}
+        assert pairs == {(0, MIN), (0, 2 * MIN)}  # Q@3 has no later V
+
+    def test_equal_timestamps_do_not_match(self):
+        events = [ev("Q", 1), ev("V", 1)]
+        p = Pattern(seq(ref("Q", "q"), ref("V", "v")), window=W)
+        assert evaluate_window(p, events) == []
+
+    def test_three_way_sequence(self):
+        events = [ev("Q", 0), ev("V", 1), ev("W", 2)]
+        p = Pattern(seq(ref("Q", "q"), ref("V", "v"), ref("W", "w")), window=W)
+        assert len(evaluate_window(p, events)) == 1
+
+    def test_composite_sequence_order_is_all_before_all(self):
+        # SEQ(AND(a,b), c): both a and b must precede c.
+        events = [ev("A", 0), ev("B", 3), ev("C", 2)]
+        p = Pattern(
+            seq(conj(ref("A", "a"), ref("B", "b")), ref("C", "c")),
+            window=W,
+        )
+        assert evaluate_window(p, events) == []  # B@3 is after C@2
+        events2 = [ev("A", 0), ev("B", 1), ev("C", 2)]
+        assert len(evaluate_window(p, events2)) == 1
+
+
+class TestConjunctionSemantics:
+    def test_eq9_any_order(self):
+        events = [ev("V", 0), ev("Q", 1)]
+        p = Pattern(conj(ref("Q", "q"), ref("V", "v")), window=W)
+        assert len(evaluate_window(p, events)) == 1
+
+    def test_cartesian_product_size(self):
+        events = [ev("Q", 0), ev("Q", 1), ev("V", 2), ev("V", 3)]
+        p = Pattern(conj(ref("Q", "q"), ref("V", "v")), window=W)
+        assert len(evaluate_window(p, events)) == 4
+
+    def test_nary_conjunction(self):
+        events = [ev("A", 0), ev("B", 1), ev("C", 2)]
+        p = Pattern(conj(ref("A", "a"), ref("B", "b"), ref("C", "c")), window=W)
+        assert len(evaluate_window(p, events)) == 1
+
+
+class TestDisjunctionSemantics:
+    def test_eq11_each_occurrence_is_a_match(self):
+        events = [ev("Q", 0), ev("V", 1), ev("W", 2)]
+        p = Pattern(disj(ref("Q", "q"), ref("V", "v")), window=W)
+        matches = evaluate_window(p, events)
+        assert len(matches) == 2
+        assert all(len(m) == 1 for m in matches)
+
+
+class TestIterationSemantics:
+    def test_eq12_strict_temporal_order(self):
+        events = [ev("V", 0, 1.0), ev("V", 1, 2.0), ev("V", 2, 3.0)]
+        p = Pattern(iteration(ref("V", "v"), 2), window=W)
+        assert len(evaluate_window(p, events)) == 3  # C(3,2)
+
+    def test_exact_count_not_at_least(self):
+        """SEA iteration is bounded to exactly m — contrast to Kleene."""
+        events = [ev("V", i) for i in range(4)]
+        p = Pattern(iteration(ref("V", "v"), 3), window=W)
+        assert len(evaluate_window(p, events)) == 4  # C(4,3), not supersets
+
+    def test_kleene_plus_variation(self):
+        events = [ev("V", i) for i in range(4)]
+        p = Pattern(iteration(ref("V", "v"), 3, minimum_occurrences=True), window=W)
+        # C(4,3) + C(4,4) = 4 + 1
+        assert len(evaluate_window(p, events)) == 5
+
+    def test_consecutive_condition(self):
+        events = [ev("V", 0, 1.0), ev("V", 1, 3.0), ev("V", 2, 2.0)]
+        p = Pattern(
+            iteration(ref("V", "v"), 2, condition=lambda a, b: a.value < b.value),
+            window=W,
+        )
+        pairs = {(m.events[0].value, m.events[1].value) for m in evaluate_window(p, events)}
+        assert pairs == {(1.0, 3.0), (1.0, 2.0)}
+
+    def test_same_timestamp_events_not_combined(self):
+        events = [ev("V", 1, 1.0, id=1), ev("V", 1, 2.0, id=2)]
+        p = Pattern(iteration(ref("V", "v"), 2), window=W)
+        assert evaluate_window(p, events) == []
+
+
+class TestNegatedSequenceSemantics:
+    def test_eq14_absence_required(self):
+        p = Pattern(nseq(ref("Q", "a"), ref("W", "x"), ref("V", "b")), window=W)
+        blocked = [ev("Q", 0), ev("W", 1), ev("V", 2)]
+        assert evaluate_window(p, blocked) == []
+        free = [ev("Q", 0), ev("V", 2), ev("W", 3)]
+        assert len(evaluate_window(p, free)) == 1
+
+    def test_open_interval_boundaries(self):
+        """Blockers exactly at e1.ts or e3.ts do not block (open interval)."""
+        p = Pattern(nseq(ref("Q", "a"), ref("W", "x"), ref("V", "b")), window=W)
+        events = [ev("Q", 0), ev("W", 0), ev("V", 2), ev("W", 2)]
+        assert len(evaluate_window(p, events)) == 1
+
+    def test_blocker_predicate_scopes_negation(self):
+        p = parse_pattern(
+            "PATTERN SEQ(Q a, !W x, V b) WHERE x.value > 10 WITHIN 5 MINUTES"
+        )
+        # The W event does not satisfy the blocker predicate: no blocking.
+        events = [ev("Q", 0), ev("W", 1, value=5.0), ev("V", 2)]
+        assert len(evaluate_window(p, events)) == 1
+        events2 = [ev("Q", 0), ev("W", 1, value=50.0), ev("V", 2)]
+        assert evaluate_window(p, events2) == []
+
+    def test_nested_nseq_rejected(self):
+        p = Pattern(
+            seq(ref("A", "a"), nseq(ref("Q", "q"), ref("W", "w"), ref("V", "v"))),
+            window=W,
+        )
+        with pytest.raises(PatternValidationError, match="root"):
+            evaluate_window(p, [ev("A", 0)])
+
+
+class TestWindowedEvaluation:
+    def test_matches_outside_any_shared_window_excluded(self):
+        # Q and V are 10 minutes apart; W = 5 minutes.
+        events = [ev("Q", 0), ev("V", 10)]
+        p = Pattern(seq(ref("Q", "q"), ref("V", "v")), window=W)
+        assert evaluate_pattern(p, events) == []
+
+    def test_theorem1_all_matches_inside_window_found(self):
+        events = [ev("Q", 0), ev("V", 4)]
+        p = Pattern(seq(ref("Q", "q"), ref("V", "v")), window=W)
+        assert len(evaluate_pattern(p, events)) == 1
+
+    def test_theorem2_boundary_pair_found_with_unit_slide(self):
+        """A pair exactly W-1 apart is only caught because some window
+        starts at the first event (slide <= event gap)."""
+        events = [ev("Q", 0), ev("V", 4)]  # 4 min apart, W=5
+        p = Pattern(seq(ref("Q", "q"), ref("V", "v")), window=W)
+        matches = evaluate_pattern(p, events)
+        assert len(matches) == 1
+
+    def test_duplicates_eliminated_across_overlapping_windows(self):
+        events = [ev("Q", 10), ev("V", 11)]
+        p = Pattern(seq(ref("Q", "q"), ref("V", "v")), window=W)
+        with_dedup = evaluate_pattern(p, events)
+        without = evaluate_pattern(p, events, deduplicate=False)
+        assert len(with_dedup) == 1
+        assert len(without) > 1  # pair shared by several windows
+
+    def test_where_filters_matches(self):
+        events = [ev("Q", 0, 100.0), ev("Q", 1, 10.0), ev("V", 2)]
+        p = parse_pattern(
+            "PATTERN SEQ(Q q, V v) WHERE q.value > 50 WITHIN 5 MINUTES"
+        )
+        assert len(evaluate_pattern(p, events)) == 1
+
+    def test_match_set_representation(self):
+        events = [ev("Q", 0), ev("V", 1)]
+        p = Pattern(seq(ref("Q", "q"), ref("V", "v")), window=W)
+        assert len(match_set(evaluate_pattern(p, events))) == 1
+
+    def test_empty_stream(self):
+        p = Pattern(seq(ref("Q", "q"), ref("V", "v")), window=W)
+        assert evaluate_pattern(p, []) == []

@@ -1,0 +1,38 @@
+"""Opt-in larger-scale soak runs (REPRO_SLOW=1 enables them).
+
+The default suite keeps runtimes low; these runs exercise the engines on
+~100k-event workloads to catch scale-dependent regressions (state
+eviction, watermark math, memory accounting drift).
+"""
+
+import os
+
+import pytest
+
+slow = pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW"),
+    reason="set REPRO_SLOW=1 to run large-scale soak tests",
+)
+
+
+@slow
+def test_fig3a_at_large_scale():
+    from repro.experiments import Scale, fig3a_baseline
+    from repro.experiments.report import shape_checks
+
+    rows = fig3a_baseline(Scale.large())
+    checks = shape_checks(rows)
+    assert checks and all(checks.values())
+
+
+@slow
+def test_large_run_state_is_bounded():
+    from repro.experiments.common import Scale, qnv_workload, seq2_pattern
+    from repro.runtime.harness import run_fasp
+
+    streams = qnv_workload(Scale(events=200_000, sensors=8))
+    pattern = seq2_pattern(0.02, window_minutes=15)
+    measurement, _sink, result = run_fasp(pattern, streams)
+    assert not measurement.failed
+    # Window buffers are evicted: peak state stays far below the input.
+    assert result.peak_state_bytes < 50 * 96 * 8 * 15 * 4

@@ -1,0 +1,84 @@
+"""Tests for state accounting and memory-budget enforcement."""
+
+import pytest
+
+from repro.asp.state import StateHandle, StateRegistry
+from repro.errors import MemoryExhaustedError
+
+
+class TestStateHandle:
+    def test_adjust_accumulates(self):
+        h = StateHandle("buf", "op")
+        h.adjust(100, 2)
+        h.adjust(50, 1)
+        assert h.bytes_used == 150
+        assert h.items == 3
+
+    def test_adjust_clamps_at_zero(self):
+        h = StateHandle("buf", "op")
+        h.adjust(10, 1)
+        h.adjust(-100, -5)
+        assert h.bytes_used == 0
+        assert h.items == 0
+
+    def test_reset(self):
+        h = StateHandle("buf", "op")
+        h.adjust(10, 1)
+        h.reset()
+        assert h.bytes_used == 0 and h.items == 0
+
+    def test_repr_mentions_owner(self):
+        assert "op/buf" in repr(StateHandle("buf", "op"))
+
+
+class TestStateRegistry:
+    def test_totals_across_handles(self):
+        reg = StateRegistry()
+        a = reg.create("a", "op1")
+        b = reg.create("b", "op2")
+        a.adjust(100, 1)
+        b.adjust(50, 2)
+        assert reg.total_bytes() == 150
+        assert reg.total_items() == 3
+
+    def test_by_owner_groups(self):
+        reg = StateRegistry()
+        reg.create("a", "op1").adjust(100)
+        reg.create("b", "op1").adjust(20)
+        reg.create("c", "op2").adjust(5)
+        assert reg.by_owner() == {"op1": 120, "op2": 5}
+
+    def test_peak_tracked_on_check(self):
+        reg = StateRegistry()
+        h = reg.create("a", "op")
+        h.adjust(500)
+        reg.check_budget()
+        h.adjust(-400)
+        reg.check_budget()
+        assert reg.peak_bytes == 500
+        assert reg.total_bytes() == 100
+
+    def test_budget_exhaustion_raises_with_heaviest_owner(self):
+        reg = StateRegistry(budget_bytes=100)
+        reg.create("small", "light-op").adjust(10)
+        reg.create("big", "heavy-op").adjust(200)
+        with pytest.raises(MemoryExhaustedError) as excinfo:
+            reg.check_budget()
+        assert excinfo.value.operator == "heavy-op"
+        assert excinfo.value.used_bytes == 210
+        assert excinfo.value.budget_bytes == 100
+
+    def test_no_budget_never_raises(self):
+        reg = StateRegistry(budget_bytes=None)
+        reg.create("a", "op").adjust(10**12)
+        reg.check_budget()  # no exception
+
+    def test_snapshot(self):
+        reg = StateRegistry()
+        reg.create("a", "op").adjust(10, 1)
+        reg.check_budget()
+        snap = reg.snapshot()
+        assert snap["total_bytes"] == 10
+        assert snap["total_items"] == 1
+        assert snap["peak_bytes"] == 10
+        assert snap["by_owner"] == {"op": 10}

@@ -1,0 +1,207 @@
+"""Tests for the time model and explicit windowing (paper Eqs. 4/5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asp.operators.window import (
+    IntervalBounds,
+    SlidingWindowAssigner,
+    TumblingWindowAssigner,
+    WindowSpec,
+    sliding,
+    tumbling,
+    validate_slide_for_rate,
+)
+from repro.asp.time import (
+    MS_PER_MINUTE,
+    TimeInterval,
+    Watermark,
+    WatermarkGenerator,
+    hours,
+    minutes,
+    seconds,
+)
+
+
+class TestTimeConverters:
+    def test_minutes(self):
+        assert minutes(1) == 60_000
+        assert minutes(1.5) == 90_000
+
+    def test_seconds(self):
+        assert seconds(2) == 2_000
+
+    def test_hours(self):
+        assert hours(1) == 3_600_000
+
+
+class TestTimeInterval:
+    def test_contains_half_open(self):
+        iv = TimeInterval(10, 20)
+        assert iv.contains(10)
+        assert iv.contains(19)
+        assert not iv.contains(20)
+        assert not iv.contains(9)
+
+    def test_length(self):
+        assert TimeInterval(5, 15).length == 10
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(10, 5)
+
+    def test_overlaps(self):
+        assert TimeInterval(0, 10).overlaps(TimeInterval(9, 20))
+        assert not TimeInterval(0, 10).overlaps(TimeInterval(10, 20))
+
+    def test_intersect(self):
+        assert TimeInterval(0, 10).intersect(TimeInterval(5, 20)) == TimeInterval(5, 10)
+        assert TimeInterval(0, 5).intersect(TimeInterval(5, 10)) is None
+
+    def test_shift(self):
+        assert TimeInterval(0, 10).shift(5) == TimeInterval(5, 15)
+
+
+class TestWatermark:
+    def test_covers(self):
+        wm = Watermark(100)
+        assert wm.covers(100)
+        assert not wm.covers(101)
+
+    def test_terminal(self):
+        assert Watermark.terminal().is_terminal
+        assert not Watermark(5).is_terminal
+
+    def test_ordering(self):
+        assert Watermark(1) < Watermark(2)
+
+
+class TestWatermarkGenerator:
+    def test_emits_after_interval(self):
+        gen = WatermarkGenerator(emit_interval=10)
+        assert gen.observe(5) is not None  # first emission
+        assert gen.observe(7) is None
+        wm = gen.observe(16)
+        assert wm is not None and wm.value == 16
+
+    def test_out_of_orderness_lag(self):
+        gen = WatermarkGenerator(max_out_of_orderness=5, emit_interval=1)
+        wm = gen.observe(100)
+        assert wm.value == 95
+
+    def test_watermark_never_regresses(self):
+        gen = WatermarkGenerator(emit_interval=1)
+        gen.observe(100)
+        assert gen.observe(50) is None  # older event, no regression
+        assert gen.current().value == 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WatermarkGenerator(max_out_of_orderness=-1)
+        with pytest.raises(ValueError):
+            WatermarkGenerator(emit_interval=0)
+
+
+class TestWindowSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec(size=0, slide=1)
+        with pytest.raises(ValueError):
+            WindowSpec(size=10, slide=0)
+        with pytest.raises(ValueError):
+            WindowSpec(size=10, slide=20)  # gaps would drop events
+
+    def test_is_tumbling(self):
+        assert tumbling(10).is_tumbling
+        assert not sliding(10, 5).is_tumbling
+
+    def test_windows_per_event(self):
+        assert sliding(15, 1).windows_per_event() == 15
+        assert sliding(10, 3).windows_per_event() == 4  # ceil(10/3)
+
+
+class TestSlidingWindowAssigner:
+    def test_assignment_matches_definition(self):
+        assigner = SlidingWindowAssigner(sliding(10, 5))
+        windows = assigner.assign(12)
+        assert all(w.begin <= 12 < w.end for w in windows)
+        assert [(w.begin, w.end) for w in windows] == [(5, 15), (10, 20)]
+
+    def test_event_in_size_over_slide_windows(self):
+        assigner = SlidingWindowAssigner(sliding(15, 1))
+        assert len(assigner.assign(100)) == 15
+
+    def test_tumbling_single_window(self):
+        assigner = TumblingWindowAssigner(10)
+        assert len(assigner.assign(7)) == 1
+        assert assigner.assign(7)[0] == TimeInterval(0, 10)
+
+    def test_last_index_before(self):
+        assigner = SlidingWindowAssigner(sliding(10, 5))
+        # window k ends at 5k + 10; complete when end <= wm
+        assert assigner.last_index_before(20) == 2
+        assert assigner.window_for_index(2).end == 20
+
+    @given(ts=st.integers(min_value=0, max_value=10**9),
+           size=st.integers(min_value=1, max_value=1000),
+           slide=st.integers(min_value=1, max_value=1000))
+    def test_property_every_assigned_window_contains_ts(self, ts, size, slide):
+        if slide > size:
+            return
+        assigner = SlidingWindowAssigner(WindowSpec(size, slide))
+        windows = assigner.assign(ts)
+        assert windows, "every timestamp belongs to at least one window"
+        for w in windows:
+            assert w.begin <= ts < w.end
+            assert w.length == size
+        # And no adjacent window outside the list contains ts.
+        first_k = assigner.indices_for(ts)[0]
+        last_k = assigner.indices_for(ts)[-1]
+        assert not assigner.window_for_index(first_k - 1).contains(ts)
+        assert not assigner.window_for_index(last_k + 1).contains(ts)
+
+    @given(a=st.integers(min_value=0, max_value=10**6),
+           gap=st.integers(min_value=0, max_value=999))
+    def test_property_theorem2_no_match_lost_with_unit_slide(self, a, gap):
+        """Theorem 2: with slide-by-one, any pair closer than W shares a
+        window."""
+        size = 1000
+        assigner = SlidingWindowAssigner(WindowSpec(size, 1))
+        b = a + gap  # gap < size
+        shared = set(assigner.indices_for(a)) & set(assigner.indices_for(b))
+        assert shared, "pair within W must co-occur in some window"
+
+
+class TestTheorem2SlideValidation:
+    def test_slide_within_gap_ok(self):
+        assert validate_slide_for_rate(sliding(minutes(15), minutes(1)), MS_PER_MINUTE)
+
+    def test_slide_exceeding_gap_rejected(self):
+        assert not validate_slide_for_rate(
+            sliding(minutes(15), minutes(2)), MS_PER_MINUTE
+        )
+
+
+class TestIntervalBounds:
+    def test_sequence_bounds_exclusive(self):
+        bounds = IntervalBounds.sequence(10)
+        assert bounds.accepts(100, 105)
+        assert not bounds.accepts(100, 100)  # strictly after
+        assert not bounds.accepts(100, 110)  # strictly within W
+
+    def test_conjunction_bounds_symmetric(self):
+        bounds = IntervalBounds.conjunction(10)
+        assert bounds.accepts(100, 95)
+        assert bounds.accepts(100, 105)
+        assert not bounds.accepts(100, 90)
+        assert not bounds.accepts(100, 110)
+
+    def test_window_for_matches_accepts(self):
+        bounds = IntervalBounds.sequence(10)
+        win = bounds.window_for(100)
+        for ts in range(90, 120):
+            assert win.contains(ts) == bounds.accepts(100, ts)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalBounds(5, 5)
