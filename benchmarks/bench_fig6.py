@@ -1,43 +1,52 @@
-"""Figure 6 — scalability over 1/2/4 workers (128 keys).
+"""Figure 6 — measured scale-out over 1/2/4 shards (128 keys).
 
-Paper expectation: both approaches scale out with additional workers
-(FCEP relatively the most, from its low baseline), but FCEP never reaches
-the mapped queries' absolute throughput (~60 % average gap).
+The sharded backend executes each keyed plan as per-shard subgraphs and
+reports throughput from the measured makespan (slowest shard). Paper
+expectation: both approaches scale out (FCEP relatively the most, from
+its low baseline), but FCEP never reaches the mapped queries' absolute
+throughput (~60 % average gap).
 """
 
 from benchmarks.common import record_rows, bench_scale, record
 from repro.experiments import render_bars, fig6_scalability, render_figure, render_speedups
 
-WORKERS = (1, 2, 4)
+SHARDS = (1, 2, 4)
 
 
 def test_fig6_scalability(benchmark):
     scale = bench_scale()
     rows = benchmark.pedantic(
-        lambda: fig6_scalability(scale, worker_counts=WORKERS),
+        lambda: fig6_scalability(scale, shard_counts=SHARDS),
         rounds=1, iterations=1,
     )
-    report = render_figure(rows, "Figure 6: scale-out over workers (128 keys)")
+    report = render_figure(rows, "Figure 6: measured scale-out over shards (128 keys)")
     report += "\n\n" + render_speedups(rows)
     report += "\n\n" + render_bars(rows, "throughput bars")
     record("fig6", report)
     record_rows("fig6", rows)
 
-    def tput(pattern, approach, workers):
+    def tput(pattern, approach, shards):
         return next(
             r.throughput_tps for r in rows
             if r.pattern == pattern and r.approach == approach
-            and r.parameter == f"workers={workers}"
+            and r.parameter == f"shards={shards}"
         )
+
+    # Key partitioning is exact: the union of shard-local match sets is
+    # the global set, so the count must not depend on the shard count.
+    for pattern in ("SEQ7", "ITER4"):
+        counts = {
+            r.matches for r in rows
+            if r.pattern == pattern and r.approach == "FASP-O3"
+        }
+        assert len(counts) == 1, f"{pattern} match count varies across shards"
 
     # Scale-out helps FCEP — the paper's emphasis: the resource-starved
     # monolith gains the most from additional workers (up to 6x there).
     assert tput("SEQ7", "FCEP", 4) > tput("SEQ7", "FCEP", 1)
-    # The mapped queries must at least hold their throughput when spread
-    # over more workers (they start near their per-slot ceiling in this
-    # simulation, so strict gains are not guaranteed at every scale).
+    # The mapped queries must show real measured speedup at four shards.
     for approach in ("FASP-O3", "FASP-O1+O3"):
-        assert tput("SEQ7", approach, 4) > tput("SEQ7", approach, 1) * 0.7
+        assert tput("SEQ7", approach, 4) > tput("SEQ7", approach, 1)
     # And FCEP never catches the best mapped variant (paper: ~60 % gap).
     best_fasp = max(
         tput("SEQ7", a, 4) for a in ("FASP-O3", "FASP-O1+O3")

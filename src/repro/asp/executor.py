@@ -1,120 +1,50 @@
-"""Push-based single-process executor.
+"""Backwards-compatible facade over :mod:`repro.asp.runtime`.
 
-Drives a :class:`~repro.asp.graph.Dataflow`: source events are merged by
-event time across all sources (the cloud gathers streams centrally —
-paper Section 1), pushed through the operator DAG depth-first, and
-interleaved with watermarks generated from the observed timestamps.
+The original monolithic ``Executor`` lived here; it is now layered into
+``repro.asp.runtime`` (channels, scheduler, instrumentation, pluggable
+backends). This module keeps the historical import surface stable:
 
-Watermarks are propagated in topological order so that an upstream join
-fires its complete windows *before* a downstream join finalizes the same
-watermark — this is what makes nested SEQ(n) pipelines correct.
-
-The executor also hosts the cross-cutting run concerns:
-
-* state budget enforcement (raises
-  :class:`~repro.errors.MemoryExhaustedError`, the FCEP failure mode);
-* periodic metric sampling (state bytes / work units — Figure 5);
-* per-stage busy-time measurement: every operator's exclusive time is
-  recorded so :class:`RunResult` can report the sustainable throughput of
-  the *pipelined* job (bounded by the busiest stage) — the execution
-  model of an ASPS where each operator runs as its own task.
+* :class:`RunResult` and :func:`merge_sources` re-export from the
+  runtime package;
+* :class:`Executor` wraps the serial backend's
+  :class:`~repro.asp.runtime.backends.serial.SerialJob`, exposing the
+  attributes older code and tests reach into;
+* :func:`run_dataflow` gains a ``backend=`` knob resolved via
+  :func:`~repro.asp.runtime.backends.base.resolve_backend`.
 """
 
 from __future__ import annotations
 
-import heapq
-import time as _time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable
 
-from repro.asp.datamodel import Event
-from repro.asp.graph import Dataflow, Node
-from repro.asp.operators.base import Item
-from repro.asp.state import StateRegistry
-from repro.asp.time import MS_PER_MINUTE, Watermark, WatermarkGenerator
-from repro.errors import ExecutionError
+from repro.asp.graph import Dataflow
+from repro.asp.runtime import (
+    DEFAULT_SAMPLE_EVERY,
+    ExecutionBackend,
+    ExecutionSettings,
+    RunResult,
+    merge_sources,
+    resolve_backend,
+)
+from repro.asp.runtime.backends.serial import SerialJob
+from repro.asp.time import MS_PER_MINUTE
 
-#: How many events between budget checks / metric samples.
-DEFAULT_SAMPLE_EVERY = 1_000
-
-
-@dataclass
-class RunResult:
-    """Outcome of one job execution."""
-
-    job_name: str
-    events_in: int
-    items_out: int
-    wall_seconds: float
-    peak_state_bytes: int
-    work_units: int
-    failed: bool = False
-    failure: str | None = None
-    samples: list[dict[str, Any]] = field(default_factory=list)
-    #: Exclusive busy seconds per operator (stage), measured around each
-    #: process/on_watermark call.
-    stage_seconds: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def serial_throughput_tps(self) -> float:
-        """Single-thread processing rate (all stages serialized)."""
-        if self.wall_seconds <= 0:
-            return 0.0
-        return self.events_in / self.wall_seconds
-
-    @property
-    def pipeline_seconds(self) -> float:
-        """Simulated wall time under pipeline parallelism.
-
-        In an ASPS every operator runs as its own task (paper Section 2,
-        processing model); a pipelined job is bounded by its busiest
-        stage. The executor runs stages serially and measures each stage's
-        exclusive busy time; the pipelined duration is the maximum stage
-        time, with the residual (source merge, framework) counted as one
-        more stage. FCEP concentrates its work in the single CEP operator,
-        so its pipelined and serial durations nearly coincide — which is
-        precisely the decomposition argument of the paper.
-        """
-        if not self.stage_seconds:
-            return self.wall_seconds
-        busiest = max(self.stage_seconds.values())
-        residual = max(0.0, self.wall_seconds - sum(self.stage_seconds.values()))
-        return max(busiest, residual, 1e-9)
-
-    @property
-    def throughput_tps(self) -> float:
-        """Sustainable tuples/second of the pipelined job — the paper's
-        primary metric."""
-        return self.events_in / self.pipeline_seconds if self.events_in else 0.0
-
-
-def merge_sources(flow: Dataflow) -> Iterator[tuple[int, Event]]:
-    """Merge all source iterators by (ts, source order).
-
-    Yields ``(node_id, event)`` pairs in global event-time order, which is
-    how a centralized ASPS observes multiple producer streams.
-    """
-    iterators: list[tuple[int, Iterator[Event]]] = [
-        (node.node_id, iter(node.source)) for node in flow.source_nodes()
-    ]
-    heap: list[tuple[int, int, int, Event]] = []
-    for order, (node_id, it) in enumerate(iterators):
-        first = next(it, None)
-        if first is not None:
-            heap.append((first.ts, order, node_id, first))
-    heapq.heapify(heap)
-    its = {node_id: it for node_id, it in iterators}
-    orders = {node_id: order for order, (node_id, _) in enumerate(iterators)}
-    while heap:
-        ts, order, node_id, event = heapq.heappop(heap)
-        yield node_id, event
-        nxt = next(its[node_id], None)
-        if nxt is not None:
-            heapq.heappush(heap, (nxt.ts, orders[node_id], node_id, nxt))
+__all__ = [
+    "DEFAULT_SAMPLE_EVERY",
+    "Executor",
+    "RunResult",
+    "merge_sources",
+    "run_dataflow",
+]
 
 
 class Executor:
-    """Executes one dataflow to completion over its finite sources."""
+    """Executes one dataflow to completion over its finite sources.
+
+    Thin wrapper over the serial backend's prepared job, kept for callers
+    that predate the runtime package. New code should pick a backend via
+    :func:`run_dataflow` or construct one directly.
+    """
 
     def __init__(
         self,
@@ -125,172 +55,51 @@ class Executor:
         sample_every: int = DEFAULT_SAMPLE_EVERY,
         on_sample: Callable[[dict[str, Any]], None] | None = None,
     ):
-        flow.validate()
-        self.flow = flow
-        self.registry = StateRegistry(budget_bytes=memory_budget_bytes)
-        self.watermarks = WatermarkGenerator(
-            max_out_of_orderness=max_out_of_orderness,
-            emit_interval=watermark_interval,
+        self._job = SerialJob(
+            flow,
+            ExecutionSettings(
+                memory_budget_bytes=memory_budget_bytes,
+                watermark_interval=watermark_interval,
+                max_out_of_orderness=max_out_of_orderness,
+                sample_every=sample_every,
+                on_sample=on_sample,
+            ),
         )
-        self.sample_every = max(1, sample_every)
-        self.on_sample = on_sample
-        self._topo: list[Node] = flow.topological_order()
-        self._out_edges = {
-            node.node_id: sorted(flow.out_edges(node.node_id), key=lambda e: e.target_id)
-            for node in self._topo
-        }
-        for node in flow.operator_nodes():
-            node.operator.setup(self.registry)
-            if hasattr(node.operator, "set_event_clock"):
-                node.operator.set_event_clock(lambda: self.watermarks._max_ts)
-        # Accumulated watermark delay per node: operators whose outputs lag
-        # event time (window joins, the NSEQ UDF) hold back the watermark
-        # their downstream consumers observe, so downstream windows do not
-        # close before delayed items arrive.
-        self._wm_delay: dict[int, int] = {}
-        for node in self._topo:
-            incoming = flow.in_edges(node.node_id)
-            in_delay = 0
-            for edge in incoming:
-                upstream = flow.nodes[edge.source_id]
-                upstream_out = self._wm_delay.get(edge.source_id, 0)
-                if not upstream.is_source:
-                    upstream_out += upstream.operator.watermark_delay()
-                in_delay = max(in_delay, upstream_out)
-            self._wm_delay[node.node_id] = in_delay
-        self.events_in = 0
-        self.items_out = 0
-        # Exclusive busy time per operator node (pipeline stage model).
-        self._busy: dict[int, float] = {
-            node.node_id: 0.0 for node in flow.operator_nodes()
-        }
 
-    # -- data propagation -----------------------------------------------------
+    @property
+    def flow(self) -> Dataflow:
+        return self._job.flow
 
-    def _push(self, node_id: int, item: Item, port: int) -> None:
-        """Deliver ``item`` to operator ``node_id`` and walk downstream.
+    @property
+    def registry(self):
+        return self._job.registry
 
-        Linear one-in/one-out segments (filter -> map -> ... chains) are
-        walked iteratively instead of recursively — the executor-level
-        analog of operator chaining in an ASPS, removing per-hop call
-        overhead without changing delivery order or per-stage accounting.
-        Fan-out and multi-output steps fall back to recursion.
-        """
-        nodes = self.flow.nodes
-        busy = self._busy
-        out_edges = self._out_edges
-        while True:
-            node = nodes[node_id]
-            start = _time.perf_counter()
-            outputs = node.operator.process(item, port)
-            busy[node_id] += _time.perf_counter() - start
-            if not outputs:
-                return
-            edges = out_edges[node_id]
-            if not edges:
-                self.items_out += len(outputs)
-                return
-            if len(outputs) == 1 and len(edges) == 1:
-                item = outputs[0]
-                edge = edges[0]
-                node_id, port = edge.target_id, edge.port
-                continue
-            for out in outputs:
-                for edge in edges:
-                    self._push(edge.target_id, out, edge.port)
-            return
+    @property
+    def watermarks(self):
+        return self._job.watermarks.generator
 
-    def _inject(self, source_node_id: int, event: Event) -> None:
-        for edge in self._out_edges[source_node_id]:
-            self._push(edge.target_id, event, edge.port)
+    @property
+    def sample_every(self) -> int:
+        return self._job.instrumentation.sample_every
 
-    def _broadcast_watermark(self, watermark: Watermark) -> None:
-        """Advance event time on all operators in topological order.
+    @property
+    def _wm_delay(self) -> dict[int, int]:
+        """Accumulated watermark delay per node (see WatermarkService)."""
+        return self._job.watermarks.delays
 
-        Items emitted by an operator's window firing are pushed downstream
-        immediately, so downstream operators buffer them *before* their
-        own ``on_watermark`` call later in the same topological sweep.
-        """
-        for node in self._topo:
-            if node.is_source:
-                continue
-            if watermark.is_terminal:
-                local = watermark
-            else:
-                local = Watermark(watermark.value - self._wm_delay[node.node_id])
-            start = _time.perf_counter()
-            outputs = node.operator.on_watermark(local)
-            self._busy[node.node_id] += _time.perf_counter() - start
-            if not outputs:
-                continue
-            edges = self._out_edges[node.node_id]
-            if not edges:
-                self.items_out += len(list(outputs))
-                continue
-            for out in outputs:
-                for edge in edges:
-                    self._push(edge.target_id, out, edge.port)
+    @property
+    def events_in(self) -> int:
+        return self._job.events_in
 
-    # -- run loop ---------------------------------------------------------------
-
-    def run(self) -> RunResult:
-        samples: list[dict[str, Any]] = []
-        started = _time.perf_counter()
-        failed = False
-        failure: str | None = None
-        try:
-            for self.events_in, (node_id, event) in enumerate(
-                merge_sources(self.flow), start=1
-            ):
-                self._inject(node_id, event)
-                watermark = self.watermarks.observe(event.ts)
-                if watermark is not None:
-                    self._broadcast_watermark(watermark)
-                    # Budget checks ride the watermark cadence as well so
-                    # short runs (fewer events than sample_every) still
-                    # observe state growth and enforce the budget.
-                    self.registry.check_budget()
-                if self.events_in % self.sample_every == 0:
-                    self.registry.check_budget()
-                    self._sample(samples, started)
-            self._broadcast_watermark(Watermark.terminal())
-            self.registry.check_budget()
-        except ExecutionError as exc:
-            failed = True
-            failure = str(exc)
-        wall = _time.perf_counter() - started
-        self._sample(samples, started)
-        stage_seconds = {
-            f"{self.flow.nodes[node_id].name}#{node_id}": busy
-            for node_id, busy in self._busy.items()
-        }
-        return RunResult(
-            job_name=self.flow.name,
-            events_in=self.events_in,
-            items_out=self.items_out,
-            wall_seconds=wall,
-            peak_state_bytes=self.registry.peak_bytes,
-            work_units=self.total_work_units(),
-            failed=failed,
-            failure=failure,
-            samples=samples,
-            stage_seconds=stage_seconds,
-        )
+    @property
+    def items_out(self) -> int:
+        return self._job.items_out
 
     def total_work_units(self) -> int:
-        return sum(n.operator.work_units for n in self.flow.operator_nodes())
+        return self._job.instrumentation.total_work_units()
 
-    def _sample(self, samples: list[dict[str, Any]], started: float) -> None:
-        sample = {
-            "wall_s": _time.perf_counter() - started,
-            "events_in": self.events_in,
-            "state_bytes": self.registry.total_bytes(),
-            "state_items": self.registry.total_items(),
-            "work_units": self.total_work_units(),
-        }
-        samples.append(sample)
-        if self.on_sample is not None:
-            self.on_sample(sample)
+    def run(self) -> RunResult:
+        return self._job.run()
 
 
 def run_dataflow(
@@ -298,11 +107,20 @@ def run_dataflow(
     memory_budget_bytes: int | None = None,
     watermark_interval: int = MS_PER_MINUTE,
     sample_every: int = DEFAULT_SAMPLE_EVERY,
+    backend: str | ExecutionBackend | None = None,
+    shards: int = 4,
+    key_attribute: str = "id",
 ) -> RunResult:
-    """One-shot convenience wrapper around :class:`Executor`."""
-    return Executor(
-        flow,
+    """One-shot convenience wrapper: run ``flow`` on the chosen backend.
+
+    ``backend`` accepts ``None``/``"serial"``, ``"sharded"`` or an
+    :class:`ExecutionBackend` instance; ``shards`` and ``key_attribute``
+    parameterize the sharded backend when selected by name.
+    """
+    resolved = resolve_backend(backend, shards=shards, key_attribute=key_attribute)
+    settings = ExecutionSettings(
         memory_budget_bytes=memory_budget_bytes,
         watermark_interval=watermark_interval,
         sample_every=sample_every,
-    ).run()
+    )
+    return resolved.execute(flow, settings)

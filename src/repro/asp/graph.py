@@ -13,12 +13,13 @@ operators finalize the same watermark).
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Hashable, Iterable, Iterator
 
-from repro.asp.operators.base import Operator
-from repro.asp.operators.source import Source
+from repro.asp.operators.base import Item, Operator
+from repro.asp.operators.source import ListSource, Source
 from repro.errors import GraphError
 
 
@@ -178,6 +179,65 @@ class Dataflow:
                 0 if not incoming else 1 + max(depth[e.source_id] for e in incoming)
             )
         return {n.name: depth[n.node_id] for n in self.sink_nodes()}
+
+
+def clone_dataflow(flow: Dataflow, *, share_sources: bool = True) -> Dataflow:
+    """Deep-copy a dataflow so a second execution gets fresh operators.
+
+    Operator instances buffer state across calls, so running the same
+    graph twice requires independent copies. Source payloads are shared
+    by default (they are read-only event collections, often large); pass
+    ``share_sources=False`` to copy them as well.
+    """
+    memo: dict[int, object] = {}
+    if share_sources:
+        for node in flow.source_nodes():
+            memo[id(node.payload)] = node.payload
+    return copy.deepcopy(flow, memo)
+
+
+def extract_shards(
+    flow: Dataflow,
+    num_shards: int,
+    key_selector: Callable[[Item], Hashable],
+) -> list[Dataflow]:
+    """Split a keyed dataflow into ``num_shards`` independent subgraphs.
+
+    This is optimization O3 made physical: the key space is
+    hash-partitioned (the shuffle an ASPS performs before every keyed
+    operator), and each shard receives a structurally identical copy of
+    the graph whose sources hold only that shard's events. Because every
+    stateful operator downstream is keyed, shard-local execution produces
+    exactly the matches whose key lands on the shard — the union over
+    shards is the full match set, with no cross-shard duplicates.
+
+    Source events are materialized once and routed with the stable hash
+    of :func:`repro.asp.operators.keyby.partition_for`, so the split is
+    identical across runs and processes.
+    """
+    from repro.asp.operators.keyby import partition_for
+
+    if num_shards < 1:
+        raise GraphError("num_shards must be >= 1")
+    partitions: dict[int, list[list]] = {}
+    for node in flow.source_nodes():
+        split: list[list] = [[] for _ in range(num_shards)]
+        for event in iter(node.source):
+            split[partition_for(key_selector(event), num_shards)].append(event)
+        partitions[node.node_id] = split
+    shards: list[Dataflow] = []
+    for shard in range(num_shards):
+        sub = clone_dataflow(flow)
+        sub.name = f"{flow.name}@s{shard}"
+        for node in sub.source_nodes():
+            original = flow.nodes[node.node_id].source
+            node.payload = ListSource(
+                partitions[node.node_id][shard],
+                name=f"{original.name}@s{shard}",
+                event_type=original.event_type,
+            )
+        shards.append(sub)
+    return shards
 
 
 def linear_pipeline(source: Source, operators: Iterable[Operator], name: str = "job") -> Dataflow:

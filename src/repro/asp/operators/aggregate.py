@@ -83,6 +83,10 @@ class WindowAggregate(StatefulOperator):
         self._windows_fired = False
         self.windows_fired = 0
 
+    @property
+    def key_parallel_safe(self) -> bool:
+        return self.is_keyed
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._handle = self.create_state("window-buffer")

@@ -122,6 +122,22 @@ class Operator:
     def is_stateful(self) -> bool:
         return False
 
+    @property
+    def key_parallel_safe(self) -> bool:
+        """Whether this operator may run as independent per-key-range
+        instances (optimization O3, the shuffle an ASPS performs before
+        keyed operators).
+
+        Stateless operators are trivially safe — they hold nothing across
+        items. Stateful operators are unsafe by default and opt in when
+        their state is partitioned by a key (keyed joins, keyed
+        aggregates, the keyed NFA): then splitting the key space over
+        shards splits their state exactly, and shard-local results union
+        to the global result without duplicates. The sharded backend
+        refuses plans containing unsafe operators.
+        """
+        return True
+
     def state_size_bytes(self) -> int:
         if self._registry is None:
             return 0
@@ -142,3 +158,8 @@ class StatefulOperator(Operator):
     @property
     def is_stateful(self) -> bool:
         return True
+
+    @property
+    def key_parallel_safe(self) -> bool:
+        """Unsafe unless the subclass declares its state keyed."""
+        return False

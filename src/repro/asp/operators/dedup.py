@@ -44,6 +44,12 @@ class DedupOperator(StatefulOperator):
         self._handle = None
         self.duplicates_dropped = 0
 
+    @property
+    def key_parallel_safe(self) -> bool:
+        # A duplicate shares its constituents — and hence its key — with
+        # the original, so both land on the same shard.
+        return True
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._handle = self.create_state("seen-keys")

@@ -157,6 +157,10 @@ class SlidingWindowJoin(StatefulOperator):
         self.pairs_tested = 0
         self.pairs_emitted = 0
 
+    @property
+    def key_parallel_safe(self) -> bool:
+        return self.is_keyed
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._ensure_buffers()
@@ -308,6 +312,10 @@ class IntervalJoin(StatefulOperator):
         self._right: _SideBuffer | None = None
         self.pairs_tested = 0
         self.pairs_emitted = 0
+
+    @property
+    def key_parallel_safe(self) -> bool:
+        return self.is_keyed
 
     def setup(self, registry) -> None:
         super().setup(registry)

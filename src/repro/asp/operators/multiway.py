@@ -80,6 +80,10 @@ class MultiWayWindowJoin(StatefulOperator):
         self.tuples_tested = 0
         self.tuples_emitted = 0
 
+    @property
+    def key_parallel_safe(self) -> bool:
+        return self.is_keyed
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._ensure_buffers()

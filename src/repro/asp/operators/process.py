@@ -63,6 +63,10 @@ class NextOccurrenceUdf(StatefulOperator):
         self.resolved_by_blocker = 0
         self.resolved_by_timeout = 0
 
+    @property
+    def key_parallel_safe(self) -> bool:
+        return self.keyed
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._handle = self.create_state("pending-T1")

@@ -1,0 +1,49 @@
+"""Layered execution runtime for the ASP engine.
+
+The runtime splits the former monolithic ``Executor`` into four tiers,
+mirroring how an actual ASPS is layered (paper Section 2, processing
+model):
+
+* :mod:`~repro.asp.runtime.scheduler` — source merging and the
+  watermark service (what drives a job);
+* :mod:`~repro.asp.runtime.channels` — typed in-memory edges carrying
+  item/watermark frames between operators (what connects a job);
+* :mod:`~repro.asp.runtime.instrumentation` — per-stage busy time,
+  state sampling and budget enforcement behind one hook interface
+  (what observes a job);
+* :mod:`~repro.asp.runtime.backends` — pluggable execution strategies
+  behind the :class:`~repro.asp.runtime.backends.base.ExecutionBackend`
+  protocol: :class:`SerialBackend` (the depth-first reference) and
+  :class:`ShardedBackend` (key-partitioned parallel execution over a
+  process pool — optimization O3 made physical).
+"""
+
+from repro.asp.runtime.backends import (
+    DEFAULT_SAMPLE_EVERY,
+    ExecutionBackend,
+    ExecutionSettings,
+    SerialBackend,
+    ShardedBackend,
+    resolve_backend,
+)
+from repro.asp.runtime.channels import Channel, build_channels
+from repro.asp.runtime.instrumentation import Instrumentation, SampleHook
+from repro.asp.runtime.result import RunResult, merge_shard_results
+from repro.asp.runtime.scheduler import WatermarkService, merge_sources
+
+__all__ = [
+    "Channel",
+    "DEFAULT_SAMPLE_EVERY",
+    "ExecutionBackend",
+    "ExecutionSettings",
+    "Instrumentation",
+    "RunResult",
+    "SampleHook",
+    "SerialBackend",
+    "ShardedBackend",
+    "WatermarkService",
+    "build_channels",
+    "merge_shard_results",
+    "merge_sources",
+    "resolve_backend",
+]

@@ -1,0 +1,25 @@
+"""Pluggable execution backends behind one protocol.
+
+* :class:`SerialBackend` — the chained depth-first reference semantics.
+* :class:`ShardedBackend` — key-partitioned parallel execution (O3 made
+  physical) over a process pool, with a measured inline fallback.
+"""
+
+from repro.asp.runtime.backends.base import (
+    ExecutionBackend,
+    ExecutionSettings,
+    resolve_backend,
+)
+from repro.asp.runtime.backends.serial import SerialBackend, SerialJob
+from repro.asp.runtime.backends.sharded import ShardedBackend
+from repro.asp.runtime.instrumentation import DEFAULT_SAMPLE_EVERY
+
+__all__ = [
+    "DEFAULT_SAMPLE_EVERY",
+    "ExecutionBackend",
+    "ExecutionSettings",
+    "SerialBackend",
+    "SerialJob",
+    "ShardedBackend",
+    "resolve_backend",
+]

@@ -1,0 +1,68 @@
+"""The pluggable execution backend contract.
+
+A backend turns a validated :class:`~repro.asp.graph.Dataflow` plus
+:class:`ExecutionSettings` into a :class:`~repro.asp.runtime.result
+.RunResult`. The contract deliberately says nothing about *how*: the
+serial backend replays the paper's single-process semantics, the sharded
+backend splits a keyed plan over a process pool, and a future
+distributed backend would ship subgraphs to remote workers behind the
+same two calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Protocol, runtime_checkable
+
+from repro.asp.runtime.instrumentation import DEFAULT_SAMPLE_EVERY
+from repro.asp.runtime.result import RunResult
+from repro.asp.time import MS_PER_MINUTE
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.asp.graph import Dataflow
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """Per-run knobs every backend honours."""
+
+    memory_budget_bytes: int | None = None
+    watermark_interval: int = MS_PER_MINUTE
+    max_out_of_orderness: int = 0
+    sample_every: int = DEFAULT_SAMPLE_EVERY
+    on_sample: Callable[[dict[str, Any]], None] | None = None
+
+    def without_hooks(self) -> "ExecutionSettings":
+        """A copy safe to ship to another process (callables stripped;
+        samples still come back inside the shard's RunResult)."""
+        return replace(self, on_sample=None)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can execute a dataflow to completion."""
+
+    name: str
+
+    def execute(self, flow: "Dataflow", settings: ExecutionSettings) -> RunResult: ...
+
+
+def resolve_backend(
+    spec: "str | ExecutionBackend | None",
+    *,
+    shards: int = 4,
+    key_attribute: str = "id",
+) -> "ExecutionBackend":
+    """Build a backend from a CLI/harness spec (``"serial"``/``"sharded"``
+    or an already-constructed backend)."""
+    from repro.asp.runtime.backends.serial import SerialBackend
+    from repro.asp.runtime.backends.sharded import ShardedBackend
+
+    if spec is None or spec == "serial":
+        return SerialBackend()
+    if isinstance(spec, str):
+        if spec == "sharded":
+            return ShardedBackend(shards=shards, key_attribute=key_attribute)
+        raise ExecutionError(f"unknown execution backend '{spec}'")
+    return spec

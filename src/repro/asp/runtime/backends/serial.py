@@ -1,0 +1,179 @@
+"""Serial backend: the depth-first push semantics, kept as reference.
+
+Drives a :class:`~repro.asp.graph.Dataflow` on the calling thread:
+source events are merged by event time across all sources, pushed
+through the operator DAG depth-first over the job's channels, and
+interleaved with watermarks from the scheduler's watermark service.
+
+Watermarks are propagated in topological order so that an upstream join
+fires its complete windows *before* a downstream join finalizes the same
+watermark — this is what makes nested SEQ(n) pipelines correct. The
+sharded backend runs one serial job per shard, so this module is the
+correctness reference for every backend.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.asp.graph import Dataflow
+from repro.asp.runtime.backends.base import ExecutionSettings
+from repro.asp.runtime.channels import Channel, build_channels, channel_totals
+from repro.asp.runtime.instrumentation import Instrumentation
+from repro.asp.runtime.result import RunResult
+from repro.asp.runtime.scheduler import WatermarkService, merge_sources
+from repro.asp.state import StateRegistry
+from repro.asp.time import Watermark
+from repro.errors import ExecutionError
+
+
+class SerialJob:
+    """One prepared execution: flow + scheduler + channels + probes.
+
+    Construction validates the flow, binds operator state to the job's
+    registry and wires the event clock; :meth:`run` is then a pure drive
+    loop. The legacy :class:`repro.asp.executor.Executor` facade exposes
+    this object's attributes for backwards compatibility.
+    """
+
+    def __init__(self, flow: Dataflow, settings: ExecutionSettings):
+        flow.validate()
+        self.flow = flow
+        self.settings = settings
+        self.registry = StateRegistry(budget_bytes=settings.memory_budget_bytes)
+        self.watermarks = WatermarkService(
+            flow,
+            max_out_of_orderness=settings.max_out_of_orderness,
+            emit_interval=settings.watermark_interval,
+        )
+        self.instrumentation = Instrumentation(
+            flow,
+            self.registry,
+            sample_every=settings.sample_every,
+            on_sample=settings.on_sample,
+        )
+        self.channels: dict[int, list[Channel]] = build_channels(flow)
+        for node in flow.operator_nodes():
+            node.operator.setup(self.registry)
+            if hasattr(node.operator, "set_event_clock"):
+                node.operator.set_event_clock(self.watermarks.current_max_ts)
+        self.events_in = 0
+        self.items_out = 0
+
+    # -- data propagation --------------------------------------------------
+
+    def _push(self, node_id: int, item, port: int) -> None:
+        """Deliver ``item`` to operator ``node_id`` and walk downstream.
+
+        Linear one-in/one-out segments (filter -> map -> ... chains) are
+        walked iteratively instead of recursively — the executor-level
+        analog of operator chaining in an ASPS, removing per-hop call
+        overhead without changing delivery order or per-stage accounting.
+        Fan-out and multi-output steps fall back to recursion.
+        """
+        nodes = self.flow.nodes
+        busy = self.instrumentation.busy
+        channels = self.channels
+        while True:
+            node = nodes[node_id]
+            start = _time.perf_counter()
+            outputs = node.operator.process(item, port)
+            busy[node_id] += _time.perf_counter() - start
+            if not outputs:
+                return
+            outs = channels[node_id]
+            if not outs:
+                self.items_out += len(outputs)
+                return
+            if len(outputs) == 1 and len(outs) == 1:
+                channel = outs[0]
+                channel.frame_items(1)
+                item = outputs[0]
+                node_id, port = channel.target_id, channel.port
+                continue
+            for channel in outs:
+                channel.frame_items(len(outputs))
+                for out in outputs:
+                    self._push(channel.target_id, out, channel.port)
+            return
+
+    def _inject(self, source_node_id: int, event) -> None:
+        for channel in self.channels[source_node_id]:
+            channel.frame_items(1)
+            self._push(channel.target_id, event, channel.port)
+
+    def _broadcast_watermark(self, watermark: Watermark) -> None:
+        """Advance event time on all operators in topological order.
+
+        Items emitted by an operator's window firing are pushed downstream
+        immediately, so downstream operators buffer them *before* their
+        own ``on_watermark`` call later in the same topological sweep.
+        """
+        busy = self.instrumentation.busy
+        for node in self.watermarks.topo:
+            if node.is_source:
+                for channel in self.channels[node.node_id]:
+                    channel.frame_watermark()
+                continue
+            local = self.watermarks.localize(node.node_id, watermark)
+            start = _time.perf_counter()
+            outputs = node.operator.on_watermark(local)
+            busy[node.node_id] += _time.perf_counter() - start
+            outs = self.channels[node.node_id]
+            for channel in outs:
+                channel.frame_watermark()
+            if not outputs:
+                continue
+            if not outs:
+                self.items_out += len(list(outputs))
+                continue
+            for out in outputs:
+                for channel in outs:
+                    channel.frame_items(1)
+                    self._push(channel.target_id, out, channel.port)
+
+    # -- run loop ----------------------------------------------------------
+
+    def run(self) -> RunResult:
+        instr = self.instrumentation
+        started = instr.start_run()
+        failed = False
+        failure: str | None = None
+        try:
+            for self.events_in, (node_id, event) in enumerate(
+                merge_sources(self.flow), start=1
+            ):
+                self._inject(node_id, event)
+                watermark = self.watermarks.observe(event.ts)
+                if watermark is not None:
+                    self._broadcast_watermark(watermark)
+                instr.after_event(self.events_in, watermark is not None)
+            self._broadcast_watermark(Watermark.terminal())
+            instr.finish(self.events_in)
+        except ExecutionError as exc:
+            failed = True
+            failure = str(exc)
+        wall = _time.perf_counter() - started
+        instr.take_sample(self.events_in)
+        return RunResult(
+            job_name=self.flow.name,
+            events_in=self.events_in,
+            items_out=self.items_out,
+            wall_seconds=wall,
+            peak_state_bytes=self.registry.peak_bytes,
+            work_units=instr.total_work_units(),
+            failed=failed,
+            failure=failure,
+            samples=instr.samples,
+            stage_seconds=instr.stage_seconds(),
+            metadata={"backend": "serial", "channels": channel_totals(self.channels)},
+        )
+
+
+class SerialBackend:
+    """Today's chained depth-first semantics — the correctness reference."""
+
+    name = "serial"
+
+    def execute(self, flow: Dataflow, settings: ExecutionSettings) -> RunResult:
+        return SerialJob(flow, settings).run()

@@ -1,0 +1,122 @@
+"""Cross-cutting run observation: busy time, sampling, budget checks.
+
+Everything the old executor interleaved with data movement lives here,
+behind one narrow surface:
+
+* per-stage exclusive busy time (the pipeline-parallel throughput model
+  — a pipelined job is bounded by its busiest stage);
+* periodic metric sampling (state bytes / work units — Figure 5),
+  delivered to a :class:`SampleHook` so consumers like
+  :class:`repro.runtime.metrics.TimeSeriesHook` can observe a run live;
+* state-budget enforcement (raises
+  :class:`~repro.errors.MemoryExhaustedError`, the FCEP failure mode).
+
+Budget checks ride two cadences — every watermark, so short runs with
+fewer events than ``sample_every`` still observe state growth, and every
+``sample_every`` events. Both cadences funnel through the single
+:meth:`Instrumentation.after_event` check site, so an event that hits
+both pays for one check, not two.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.asp.graph import Dataflow
+from repro.asp.state import StateRegistry
+
+#: How many events between budget checks / metric samples.
+DEFAULT_SAMPLE_EVERY = 1_000
+
+
+@runtime_checkable
+class SampleHook(Protocol):
+    """Anything that wants to observe metric samples as they are taken."""
+
+    def __call__(self, sample: dict[str, Any]) -> None: ...
+
+
+class Instrumentation:
+    """Per-run measurement state for one backend execution."""
+
+    def __init__(
+        self,
+        flow: Dataflow,
+        registry: StateRegistry,
+        *,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+        on_sample: SampleHook | Callable[[dict[str, Any]], None] | None = None,
+    ):
+        self.flow = flow
+        self.registry = registry
+        self.sample_every = max(1, sample_every)
+        self.on_sample = on_sample
+        self.samples: list[dict[str, Any]] = []
+        self.busy: dict[int, float] = {
+            node.node_id: 0.0 for node in flow.operator_nodes()
+        }
+        self.budget_checks = 0
+        self._started = _time.perf_counter()
+
+    # -- busy time -------------------------------------------------------
+
+    def start_run(self) -> float:
+        self._started = _time.perf_counter()
+        return self._started
+
+    def clock(self) -> float:
+        return _time.perf_counter()
+
+    def record(self, node_id: int, seconds: float) -> None:
+        self.busy[node_id] += seconds
+
+    def stage_seconds(self) -> dict[str, float]:
+        return {
+            f"{self.flow.nodes[node_id].name}#{node_id}": busy
+            for node_id, busy in self.busy.items()
+        }
+
+    # -- budget + sampling (the one check site) --------------------------
+
+    def after_event(self, events_in: int, watermark_emitted: bool) -> None:
+        """The per-event checkpoint: one budget check even when the
+        watermark cadence and the sampling cadence coincide."""
+        sample_due = events_in % self.sample_every == 0
+        if watermark_emitted or sample_due:
+            self._check_budget()
+        if sample_due:
+            self.take_sample(events_in)
+
+    def finish(self, events_in: int) -> None:
+        """Final checkpoint after the terminal watermark."""
+        self._check_budget()
+
+    def _check_budget(self) -> None:
+        self.budget_checks += 1
+        self.registry.check_budget()
+
+    def take_sample(self, events_in: int) -> dict[str, Any]:
+        sample = {
+            "wall_s": _time.perf_counter() - self._started,
+            "events_in": events_in,
+            "state_bytes": self.registry.total_bytes(),
+            "state_items": self.registry.total_items(),
+            "work_units": self.total_work_units(),
+        }
+        self.samples.append(sample)
+        if self.on_sample is not None:
+            self.on_sample(sample)
+        return sample
+
+    def total_work_units(self) -> int:
+        return sum(n.operator.work_units for n in self.flow.operator_nodes())
+
+    # -- convenience ------------------------------------------------------
+
+    def measure(self, node_id: int, call: Callable[[], Iterable[Any]]):
+        """Run ``call`` and attribute its duration to ``node_id``."""
+        start = _time.perf_counter()
+        out = call()
+        self.busy[node_id] += _time.perf_counter() - start
+        return out

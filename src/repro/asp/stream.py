@@ -22,8 +22,9 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Literal, Sequence
 
 from repro.asp.datamodel import Event
-from repro.asp.executor import Executor, RunResult
+from repro.asp.executor import RunResult
 from repro.asp.graph import Dataflow
+from repro.asp.runtime import ExecutionBackend, ExecutionSettings, resolve_backend
 from repro.asp.operators.aggregate import SortedWindowUdfAggregate, WindowAggregate
 from repro.asp.operators.base import Item, Operator
 from repro.asp.operators.filter import FilterOperator, TypeFilterOperator
@@ -210,15 +211,16 @@ class StreamEnvironment:
         watermark_interval: int = MS_PER_MINUTE,
         sample_every: int = 1_000,
         max_out_of_orderness: int = 0,
+        backend: "str | ExecutionBackend | None" = None,
     ) -> RunResult:
-        executor = Executor(
-            self.flow,
+        resolved = resolve_backend(backend)
+        settings = ExecutionSettings(
             memory_budget_bytes=memory_budget_bytes,
             watermark_interval=watermark_interval,
             sample_every=sample_every,
             max_out_of_orderness=max_out_of_orderness,
         )
-        return executor.run()
+        return resolved.execute(self.flow, settings)
 
     def explain(self) -> str:
         return self.flow.describe()

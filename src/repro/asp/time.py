@@ -87,6 +87,13 @@ class WatermarkGenerator:
         self._max_ts = -(2**62)
         self._last_emitted = -(2**62)
 
+    @property
+    def current_max_ts(self) -> int:
+        """Largest event timestamp observed so far — the event clock
+        operators (e.g. :class:`~repro.asp.operators.sink
+        .EventTimeLatencySink`) read to compute detection lag."""
+        return self._max_ts
+
     def observe(self, ts: int) -> Watermark | None:
         """Record an event timestamp; return a watermark when due."""
         if ts > self._max_ts:

@@ -45,6 +45,12 @@ class CepOperator(StatefulOperator):
         self._handle = None
         self.matches = 0
 
+    @property
+    def key_parallel_safe(self) -> bool:
+        # A keyed NFA never combines events across keys, so hash
+        # partitioning the key space partitions its state exactly.
+        return self.key_fn is not None
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._handle = self.create_state("nfa-partial-matches")

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from repro.asp.operators.source import ListSource
+from repro.asp.runtime import resolve_backend
 from repro.asp.time import minutes
 from repro.cep.matches import dedup
 from repro.cep.nfa import run_nfa
@@ -117,25 +119,60 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    pattern = _pattern_from_args(args)
-    streams = _streams_from_args(args)
+    if not args.pattern and not args.pattern_file and not args.stream:
+        # Batteries-included demo: a keyed SEQ over generated QnV streams,
+        # so `python -m repro run --backend sharded` works out of the box.
+        print("no pattern/streams given; running the built-in keyed demo")
+        args.pattern = (
+            "PATTERN SEQ(Q a, V b) WHERE a.id = b.id WITHIN 10 MINUTES"
+        )
+        streams = qnv_streams(
+            QnVConfig(num_segments=8, duration_ms=minutes(240), seed=42)
+        )
+        pattern = _pattern_from_args(args)
+    else:
+        pattern = _pattern_from_args(args)
+        streams = _streams_from_args(args)
     options = _options_from_args(args)
+    backend_spec = getattr(args, "backend", None) or "serial"
+    shards = getattr(args, "shards", 4)
+    if backend_spec == "sharded" and options.partition_attribute is None:
+        print("note: sharded backend needs a keyed plan; enabling O3 on 'id'")
+        options = replace(options, partition_attribute="id")
     engines = ("fasp", "fcep") if args.engine == "both" else (args.engine,)
     results = {}
     for engine in engines:
         if engine == "fasp":
-            sources = {
-                t: ListSource(events, name=f"src[{t}]", event_type=t)
-                for t, events in streams.items()
-            }
-            query = translate(pattern, sources, options)
-            run = query.execute()
+            def fresh_query():
+                sources = {
+                    t: ListSource(events, name=f"src[{t}]", event_type=t)
+                    for t, events in streams.items()
+                }
+                return translate(pattern, sources, options)
+
+            backend = resolve_backend(
+                backend_spec,
+                shards=shards,
+                key_attribute=options.partition_attribute or "id",
+            )
+            query = fresh_query()
+            run = query.execute(backend=backend)
             matches = query.matches()
             results["fasp"] = (run.throughput_tps, matches)
             print(
                 f"[{options.label()}] {run.events_in} events -> "
-                f"{len(matches)} matches @ {run.throughput_tps:,.0f} tpl/s"
+                f"{len(matches)} matches @ {run.throughput_tps:,.0f} tpl/s "
+                f"({backend.name} backend)"
             )
+            if backend_spec != "serial":
+                reference = fresh_query()
+                reference.execute()
+                serial_keys = {m.dedup_key() for m in reference.matches()}
+                backend_keys = {m.dedup_key() for m in matches}
+                agree = serial_keys == backend_keys
+                print(f"backend parity ({backend.name} vs serial): {agree}")
+                if not agree:
+                    return 1
         else:
             from repro.asp.datamodel import merge_events
 
@@ -243,6 +280,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     run.add_argument("--stream", action="append", metavar="TYPE=PATH",
                      help="CSV stream per event type (repeatable)")
     run.add_argument("--engine", choices=("fasp", "fcep", "both"), default="fasp")
+    run.add_argument("--backend", choices=("serial", "sharded"), default="serial",
+                     help="execution backend for the FASP engine")
+    run.add_argument("--shards", type=int, default=4,
+                     help="shard count for --backend sharded")
     run.add_argument("--show", type=int, default=5,
                      help="print up to N matches (default 5)")
     run.set_defaults(func=cmd_run)

@@ -348,6 +348,7 @@ class TranslatedQuery:
         watermark_interval: int | None = None,
         sample_every: int = 1_000,
         max_out_of_orderness: int = 0,
+        backend=None,
     ) -> RunResult:
         if self.sink is None:
             self.attach_sink(CollectSink())
@@ -357,6 +358,7 @@ class TranslatedQuery:
             watermark_interval=interval,
             sample_every=sample_every,
             max_out_of_orderness=max_out_of_orderness,
+            backend=backend,
         )
 
     def matches(self) -> list[ComplexEvent]:

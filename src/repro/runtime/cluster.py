@@ -1,4 +1,13 @@
-"""Simulated cluster execution — key-partitioned scale-out.
+"""Simulated cluster execution — the *analytic* scale-out model.
+
+Measured scale-out now lives in the sharded execution backend
+(:class:`repro.asp.runtime.ShardedBackend`), which actually splits a
+keyed plan into per-shard subgraphs and runs them; use it via
+``backend="sharded"`` on the harness or ``fig6_scalability()``'s default
+path. This module remains the analytic fallback: it predicts cluster
+behaviour (slot counts, skew, per-worker memory budgets) without
+executing shards, which is cheap and lets experiments model
+configurations larger than the local machine.
 
 The paper's cluster (Section 5.1.1) is five nodes with 16 task slots per
 worker; parallelism comes exclusively from key partitioning (both for

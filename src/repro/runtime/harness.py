@@ -59,9 +59,14 @@ def run_fcep(
     collect: bool = False,
     sample_every: int = 1_000,
     sink: Sink | None = None,
+    backend=None,
 ) -> tuple[ThroughputMeasurement, Sink, RunResult]:
     """Run the pattern FlinkCEP-style: union all streams into one unary
-    CEP operator (Section 5.1.2)."""
+    CEP operator (Section 5.1.2).
+
+    A sharded ``backend`` requires ``key_attribute`` — an unkeyed NFA
+    holds cross-key state and the backend will refuse the plan.
+    """
     cep_pattern = from_sea_pattern(pattern)
     env = StreamEnvironment(name=f"{pattern.name}[FCEP]")
     handles = [env.add_source(src) for src in _sources_of(streams).values()]
@@ -81,6 +86,7 @@ def run_fcep(
         memory_budget_bytes=memory_budget_bytes,
         watermark_interval=_watermark_interval(pattern, streams),
         sample_every=sample_every,
+        backend=backend,
     )
     measurement = ThroughputMeasurement.from_run(
         "FCEP", pattern.name, result, matches=sink.count
@@ -96,8 +102,13 @@ def run_fasp(
     collect: bool = False,
     sample_every: int = 1_000,
     sink: Sink | None = None,
+    backend=None,
 ) -> tuple[ThroughputMeasurement, Sink, RunResult]:
-    """Run the pattern through the CEP-to-ASP mapping."""
+    """Run the pattern through the CEP-to-ASP mapping.
+
+    A sharded ``backend`` requires O3 (``partition_attribute``) so that
+    every stateful operator in the mapped plan is keyed.
+    """
     options = options or TranslationOptions()
     query = translate(pattern, _sources_of(streams), options)
     if sink is None:
@@ -107,6 +118,7 @@ def run_fasp(
         memory_budget_bytes=memory_budget_bytes,
         watermark_interval=_watermark_interval(pattern, streams),
         sample_every=sample_every,
+        backend=backend,
     )
     measurement = ThroughputMeasurement.from_run(
         options.label(), pattern.name, result, matches=sink.count

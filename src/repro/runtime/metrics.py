@@ -55,6 +55,10 @@ class ThroughputMeasurement:
         mean_latency_s: float | None = None,
         **extras: Any,
     ) -> "ThroughputMeasurement":
+        # Backend-reported run metadata (backend name, shard count,
+        # makespan) rides along; explicit extras win on key collision.
+        merged = dict(result.metadata)
+        merged.update(extras)
         return ThroughputMeasurement(
             label=label,
             pattern=pattern,
@@ -67,7 +71,7 @@ class ThroughputMeasurement:
             failed=result.failed,
             failure=result.failure,
             mean_latency_s=mean_latency_s,
-            extras=dict(extras),
+            extras=merged,
         )
 
 
@@ -79,6 +83,29 @@ class ResourceSample:
     events_in: int
     state_bytes: int
     work_units: int
+
+
+class TimeSeriesHook:
+    """Live :class:`~repro.asp.runtime.instrumentation.SampleHook`.
+
+    Pass as ``on_sample=`` (settings or ``Executor``) to collect the
+    Figure 5 time series while the job runs instead of post-processing
+    ``result.samples`` — useful for streaming progress displays and for
+    unbounded runs where the result object arrives late.
+    """
+
+    def __init__(self) -> None:
+        self.series: list[ResourceSample] = []
+
+    def __call__(self, sample: dict[str, Any]) -> None:
+        self.series.append(
+            ResourceSample(
+                wall_s=sample["wall_s"],
+                events_in=sample["events_in"],
+                state_bytes=sample["state_bytes"],
+                work_units=sample["work_units"],
+            )
+        )
 
 
 def resource_series(result: RunResult) -> list[ResourceSample]:

@@ -8,7 +8,7 @@ from repro.asp.state import StateRegistry
 from repro.asp.time import Watermark, minutes
 from repro.cep.nfa import Nfa, run_nfa
 from repro.cep.operator import CepOperator
-from repro.cep.pattern_api import CepPattern, CepPatternBuilder, Stage, from_sea_pattern
+from repro.cep.pattern_api import CepPattern, CepPatternBuilder, from_sea_pattern
 from repro.cep.policies import STAM, STNM, STRICT
 from repro.errors import PatternValidationError, TranslationError
 from repro.sea.ast import Pattern, conj, disj, iteration, ref, seq

@@ -6,7 +6,6 @@ where they are stable even at tiny scale (match-count agreement between
 approaches, FCEP memory failure vs FASP survival).
 """
 
-import pytest
 
 from repro.experiments import (
     Scale,

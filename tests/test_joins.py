@@ -8,7 +8,7 @@ computations, including the duplicate-free property of interval joins
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.asp.datamodel import ComplexEvent, Event
+from repro.asp.datamodel import Event
 from repro.asp.operators.join import IntervalJoin, SlidingWindowJoin, compose
 from repro.asp.operators.window import IntervalBounds, WindowSpec
 from repro.asp.state import StateRegistry

@@ -19,7 +19,7 @@ from repro.mapping.plan import (
     WindowStrategy,
 )
 from repro.mapping.rules import build_plan
-from repro.sea.ast import Pattern, conj, disj, iteration, nseq, ref, seq
+from repro.sea.ast import Pattern, conj, iteration, nseq, ref, seq
 from repro.sea.parser import parse_pattern
 
 W = WindowSpec(size=minutes(15), slide=minutes(1))

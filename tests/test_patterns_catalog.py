@@ -4,8 +4,7 @@ import pytest
 
 from repro.asp.operators.source import ListSource
 from repro.asp.time import minutes
-from repro.errors import TranslationError
-from repro.mapping.advisor import recommend_options, statistics_from_streams
+from repro.mapping.advisor import recommend_options
 from repro.mapping.translator import translate
 from repro.patterns import CATALOG, catalog_pattern
 from repro.sea.ast import Pattern

@@ -1,6 +1,5 @@
 """Tests for the SQL rendering (paper Listings 4/6/8) and Tables 1/2."""
 
-import pytest
 
 from repro.experiments.tables import render_table, table1_rows, table2_rows
 from repro.mapping.optimizations import TranslationOptions
