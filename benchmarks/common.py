@@ -12,12 +12,19 @@ the paper's shapes — raise it for longer, smoother runs).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 from repro.experiments.common import ExperimentRow, Scale
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable cross-experiment summary, rewritten incrementally by
+#: :func:`record_rows`. CI's bench-smoke job uploads it as an artifact
+#: and diffs it against the committed ``benchmarks/baseline.json`` via
+#: ``tools/check_bench_regression.py``.
+SUMMARY_PATH = RESULTS_DIR / "summary.json"
 
 
 def bench_scale(sensors: int = 4) -> Scale:
@@ -52,8 +59,42 @@ def assert_fasp_not_dominated(rows: list[ExperimentRow], tolerance: float = 0.8)
     assert not losing, f"FASP dominated by FCEP in cells: {losing}"
 
 
+def summary_key(row: ExperimentRow) -> str:
+    """Stable identifier of one figure cell: pattern|approach|parameter."""
+    return f"{row.pattern}|{row.approach}|{row.parameter}"
+
+
+def update_summary(name: str, rows: list[ExperimentRow]) -> dict:
+    """Fold one experiment's rows into ``benchmarks/results/summary.json``.
+
+    The summary keeps one throughput number per figure cell (plus match
+    counts for sanity), so a CI run of any benchmark subset produces a
+    diffable document covering exactly what it ran.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if SUMMARY_PATH.exists():
+        summary = json.loads(SUMMARY_PATH.read_text())
+    else:
+        summary = {"schema": "repro.bench-summary/v1", "experiments": {}}
+    summary["experiments"][name] = {
+        "events": int(os.environ.get("REPRO_BENCH_EVENTS", "20000")),
+        "cells": {
+            summary_key(row): {
+                "throughput_tps": round(row.throughput_tps, 1),
+                "matches": row.matches,
+                "events_in": row.events_in,
+                "failed": row.failed,
+            }
+            for row in rows
+        },
+    }
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return summary
+
+
 def record_rows(name: str, rows: list[ExperimentRow]) -> None:
-    """Persist raw experiment rows as CSV for downstream plotting."""
+    """Persist raw experiment rows as CSV (plotting) and fold them into
+    the machine-readable summary (CI regression gate)."""
     import csv
 
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -70,3 +111,4 @@ def record_rows(name: str, rows: list[ExperimentRow]) -> None:
                  f"{row.throughput_tps:.1f}", row.matches, row.events_in,
                  f"{row.wall_seconds:.4f}", row.peak_state_bytes, row.failed]
             )
+    update_summary(name, rows)

@@ -87,6 +87,11 @@ class WindowAggregate(StatefulOperator):
     def key_parallel_safe(self) -> bool:
         return self.is_keyed
 
+    def collect_metrics(self) -> dict[str, int | float]:
+        metrics = super().collect_metrics()
+        metrics["windows_fired"] = self.windows_fired
+        return metrics
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._handle = self.create_state("window-buffer")

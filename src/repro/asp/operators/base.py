@@ -145,6 +145,37 @@ class Operator:
             h.bytes_used for h in self._registry.handles() if h.owner == self.name
         )
 
+    def state_items(self) -> int:
+        if self._registry is None:
+            return 0
+        return sum(h.items for h in self._registry.handles() if h.owner == self.name)
+
+    def state_peak_bytes(self) -> int:
+        """Largest footprint this operator's state reached (per handle)."""
+        if self._registry is None:
+            return 0
+        return sum(
+            h.peak_bytes for h in self._registry.handles() if h.owner == self.name
+        )
+
+    def state_peak_items(self) -> int:
+        if self._registry is None:
+            return 0
+        return sum(
+            h.peak_items for h in self._registry.handles() if h.owner == self.name
+        )
+
+    def collect_metrics(self) -> dict[str, int | float]:
+        """Operator-specific counters for the observability layer.
+
+        The runtime publishes the universal metrics (events in/out,
+        latency histogram, state size) itself; subclasses extend this
+        dict with what only they can count — pairs tested by a join,
+        windows fired by an aggregate, matches found by the NFA. Values
+        must be merge-by-addition safe: shard roll-up sums them.
+        """
+        return {"work_units": self.work_units}
+
     def describe(self) -> dict[str, Any]:
         return {"name": self.name, "kind": self.kind, "arity": self.arity}
 

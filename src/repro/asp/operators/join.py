@@ -161,6 +161,12 @@ class SlidingWindowJoin(StatefulOperator):
     def key_parallel_safe(self) -> bool:
         return self.is_keyed
 
+    def collect_metrics(self) -> dict[str, int | float]:
+        metrics = super().collect_metrics()
+        metrics["pairs_tested"] = self.pairs_tested
+        metrics["pairs_emitted"] = self.pairs_emitted
+        return metrics
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._ensure_buffers()
@@ -316,6 +322,12 @@ class IntervalJoin(StatefulOperator):
     @property
     def key_parallel_safe(self) -> bool:
         return self.is_keyed
+
+    def collect_metrics(self) -> dict[str, int | float]:
+        metrics = super().collect_metrics()
+        metrics["pairs_tested"] = self.pairs_tested
+        metrics["pairs_emitted"] = self.pairs_emitted
+        return metrics
 
     def setup(self, registry) -> None:
         super().setup(registry)

@@ -84,6 +84,12 @@ class MultiWayWindowJoin(StatefulOperator):
     def key_parallel_safe(self) -> bool:
         return self.is_keyed
 
+    def collect_metrics(self) -> dict[str, int | float]:
+        metrics = super().collect_metrics()
+        metrics["tuples_tested"] = self.tuples_tested
+        metrics["tuples_emitted"] = self.tuples_emitted
+        return metrics
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._ensure_buffers()

@@ -32,6 +32,11 @@ class Sink(Operator):
     def accept(self, item: Item) -> None:  # pragma: no cover - trivial default
         pass
 
+    def collect_metrics(self) -> dict[str, int | float]:
+        metrics = super().collect_metrics()
+        metrics["items_accepted"] = self.count
+        return metrics
+
 
 class DiscardSink(Sink):
     """Count-only sink for throughput runs (no retention)."""

@@ -11,6 +11,9 @@ model):
 * :mod:`~repro.asp.runtime.instrumentation` — per-stage busy time,
   state sampling and budget enforcement behind one hook interface
   (what observes a job);
+* :mod:`~repro.asp.runtime.observability` — typed metrics (counters,
+  gauges, fixed-bucket latency histograms), per-operator telemetry and
+  machine-readable run reports (how a job explains itself);
 * :mod:`~repro.asp.runtime.backends` — pluggable execution strategies
   behind the :class:`~repro.asp.runtime.backends.base.ExecutionBackend`
   protocol: :class:`SerialBackend` (the depth-first reference) and
@@ -28,22 +31,44 @@ from repro.asp.runtime.backends import (
 )
 from repro.asp.runtime.channels import Channel, build_channels
 from repro.asp.runtime.instrumentation import Instrumentation, SampleHook
+from repro.asp.runtime.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OperatorMetrics,
+    load_report,
+    merge_metric_trees,
+    render_metrics_summary,
+    run_report,
+    write_metrics_json,
+)
 from repro.asp.runtime.result import RunResult, merge_shard_results
 from repro.asp.runtime.scheduler import WatermarkService, merge_sources
 
 __all__ = [
     "Channel",
+    "Counter",
     "DEFAULT_SAMPLE_EVERY",
     "ExecutionBackend",
     "ExecutionSettings",
+    "Gauge",
+    "Histogram",
     "Instrumentation",
+    "MetricsRegistry",
+    "OperatorMetrics",
     "RunResult",
     "SampleHook",
     "SerialBackend",
     "ShardedBackend",
     "WatermarkService",
     "build_channels",
+    "load_report",
+    "merge_metric_trees",
     "merge_shard_results",
     "merge_sources",
+    "render_metrics_summary",
     "resolve_backend",
+    "run_report",
+    "write_metrics_json",
 ]

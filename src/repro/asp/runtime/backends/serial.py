@@ -20,6 +20,7 @@ from repro.asp.graph import Dataflow
 from repro.asp.runtime.backends.base import ExecutionSettings
 from repro.asp.runtime.channels import Channel, build_channels, channel_totals
 from repro.asp.runtime.instrumentation import Instrumentation
+from repro.asp.runtime.observability import LATENCY_SAMPLE_MASK
 from repro.asp.runtime.result import RunResult
 from repro.asp.runtime.scheduler import WatermarkService, merge_sources
 from repro.asp.state import StateRegistry
@@ -72,15 +73,21 @@ class SerialJob:
         Fan-out and multi-output steps fall back to recursion.
         """
         nodes = self.flow.nodes
-        busy = self.instrumentation.busy
+        op_metrics = self.instrumentation.op_metrics
         channels = self.channels
         while True:
             node = nodes[node_id]
             start = _time.perf_counter()
             outputs = node.operator.process(item, port)
-            busy[node_id] += _time.perf_counter() - start
+            elapsed = _time.perf_counter() - start
+            metrics = op_metrics[node_id]
+            metrics.busy += elapsed
+            metrics.events_in += 1
+            if not metrics.events_in & LATENCY_SAMPLE_MASK:
+                metrics.latency.observe(elapsed)
             if not outputs:
                 return
+            metrics.events_out += len(outputs)
             outs = channels[node_id]
             if not outs:
                 self.items_out += len(outputs)
@@ -109,7 +116,7 @@ class SerialJob:
         immediately, so downstream operators buffer them *before* their
         own ``on_watermark`` call later in the same topological sweep.
         """
-        busy = self.instrumentation.busy
+        op_metrics = self.instrumentation.op_metrics
         for node in self.watermarks.topo:
             if node.is_source:
                 for channel in self.channels[node.node_id]:
@@ -118,14 +125,18 @@ class SerialJob:
             local = self.watermarks.localize(node.node_id, watermark)
             start = _time.perf_counter()
             outputs = node.operator.on_watermark(local)
-            busy[node.node_id] += _time.perf_counter() - start
+            metrics = op_metrics[node.node_id]
+            metrics.busy += _time.perf_counter() - start
+            metrics.watermark_calls += 1
             outs = self.channels[node.node_id]
             for channel in outs:
                 channel.frame_watermark()
             if not outputs:
                 continue
+            outputs = list(outputs)
+            metrics.events_out += len(outputs)
             if not outs:
-                self.items_out += len(list(outputs))
+                self.items_out += len(outputs)
                 continue
             for out in outputs:
                 for channel in outs:
@@ -149,12 +160,14 @@ class SerialJob:
                     self._broadcast_watermark(watermark)
                 instr.after_event(self.events_in, watermark is not None)
             self._broadcast_watermark(Watermark.terminal())
+            # Records the closing sample too, so short runs (fewer events
+            # than sample_every) still yield a Figure-5 data point.
             instr.finish(self.events_in)
         except ExecutionError as exc:
             failed = True
             failure = str(exc)
+            instr.take_sample(self.events_in)  # capture the failure point
         wall = _time.perf_counter() - started
-        instr.take_sample(self.events_in)
         return RunResult(
             job_name=self.flow.name,
             events_in=self.events_in,
@@ -166,6 +179,7 @@ class SerialJob:
             failure=failure,
             samples=instr.samples,
             stage_seconds=instr.stage_seconds(),
+            metrics={"operators": instr.metrics_tree(self.watermarks.delays)},
             metadata={"backend": "serial", "channels": channel_totals(self.channels)},
         )
 

@@ -24,6 +24,7 @@ import time as _time
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 from repro.asp.graph import Dataflow
+from repro.asp.runtime.observability import OperatorMetrics, operator_metrics_tree
 from repro.asp.state import StateRegistry
 
 #: How many events between budget checks / metric samples.
@@ -53,8 +54,13 @@ class Instrumentation:
         self.sample_every = max(1, sample_every)
         self.on_sample = on_sample
         self.samples: list[dict[str, Any]] = []
-        self.busy: dict[int, float] = {
-            node.node_id: 0.0 for node in flow.operator_nodes()
+        #: Per-operator telemetry (busy time, events in/out, latency
+        #: histogram), updated inline by the executing backend.
+        self.op_metrics: dict[int, OperatorMetrics] = {
+            node.node_id: OperatorMetrics(
+                f"{node.name}#{node.node_id}", node.operator.kind
+            )
+            for node in flow.operator_nodes()
         }
         self.budget_checks = 0
         self._started = _time.perf_counter()
@@ -69,13 +75,10 @@ class Instrumentation:
         return _time.perf_counter()
 
     def record(self, node_id: int, seconds: float) -> None:
-        self.busy[node_id] += seconds
+        self.op_metrics[node_id].busy += seconds
 
     def stage_seconds(self) -> dict[str, float]:
-        return {
-            f"{self.flow.nodes[node_id].name}#{node_id}": busy
-            for node_id, busy in self.busy.items()
-        }
+        return {metrics.scope: metrics.busy for metrics in self.op_metrics.values()}
 
     # -- budget + sampling (the one check site) --------------------------
 
@@ -89,8 +92,17 @@ class Instrumentation:
             self.take_sample(events_in)
 
     def finish(self, events_in: int) -> None:
-        """Final checkpoint after the terminal watermark."""
+        """Final checkpoint after the terminal watermark.
+
+        Besides the last budget check this records a closing sample, so
+        runs shorter than ``sample_every`` still produce at least one
+        Figure-5 data point. A sample already taken at exactly this
+        ``events_in`` (the cadence coinciding with the end) is not
+        duplicated.
+        """
         self._check_budget()
+        if not self.samples or self.samples[-1]["events_in"] != events_in:
+            self.take_sample(events_in)
 
     def _check_budget(self) -> None:
         self.budget_checks += 1
@@ -112,11 +124,18 @@ class Instrumentation:
     def total_work_units(self) -> int:
         return sum(n.operator.work_units for n in self.flow.operator_nodes())
 
+    def metrics_tree(
+        self, watermark_delays: dict[int, int] | None = None
+    ) -> dict[str, Any]:
+        """The per-operator typed metric tree of this run (see
+        :mod:`repro.asp.runtime.observability`)."""
+        return operator_metrics_tree(self.op_metrics, self.flow, watermark_delays)
+
     # -- convenience ------------------------------------------------------
 
     def measure(self, node_id: int, call: Callable[[], Iterable[Any]]):
         """Run ``call`` and attribute its duration to ``node_id``."""
         start = _time.perf_counter()
         out = call()
-        self.busy[node_id] += _time.perf_counter() - start
+        self.op_metrics[node_id].busy += _time.perf_counter() - start
         return out

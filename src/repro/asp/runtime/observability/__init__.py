@@ -1,0 +1,60 @@
+"""Operator-level observability for the ASP runtime.
+
+Three layers:
+
+* :mod:`~repro.asp.runtime.observability.registry` — typed metric
+  primitives (counters, gauges, fixed-bucket latency histograms) that
+  serialize to mergeable trees;
+* :mod:`~repro.asp.runtime.observability.operator_metrics` — per-operator
+  telemetry the backends update on the hot path (busy time, exact event
+  counts, stride-sampled processing latency, watermark lag) plus
+  operator-specialized counters via
+  :meth:`~repro.asp.operators.base.Operator.collect_metrics`;
+* :mod:`~repro.asp.runtime.observability.report` — machine-readable run
+  reports (``--metrics-json`` / ``repro metrics``) with p50/p95/p99
+  derived from bucket interpolation, never raw samples.
+"""
+
+from repro.asp.runtime.observability.operator_metrics import (
+    LATENCY_SAMPLE_MASK,
+    OperatorMetrics,
+    operator_metrics_tree,
+)
+from repro.asp.runtime.observability.registry import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedMetrics,
+    merge_metric_trees,
+    percentile_from_buckets,
+    summarize_metric,
+)
+from repro.asp.runtime.observability.report import (
+    load_report,
+    render_metrics_summary,
+    run_report,
+    summarize_operator,
+    write_metrics_json,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BOUNDS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_SAMPLE_MASK",
+    "MetricsRegistry",
+    "OperatorMetrics",
+    "ScopedMetrics",
+    "load_report",
+    "merge_metric_trees",
+    "operator_metrics_tree",
+    "percentile_from_buckets",
+    "render_metrics_summary",
+    "run_report",
+    "summarize_metric",
+    "summarize_operator",
+    "write_metrics_json",
+]

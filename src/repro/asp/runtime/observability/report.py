@@ -1,0 +1,138 @@
+"""Machine-readable run reports built from a :class:`RunResult`.
+
+One report = one executed job: a job-level summary (throughput, wall
+time, peak state), a per-operator table (events in/out, selectivity,
+latency percentiles, state) and — for sharded runs — the per-shard views
+next to the merged roll-up. The report is plain JSON so CI can diff it,
+``repro metrics`` can re-render it, and notebooks can plot it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.asp.runtime.observability.registry import summarize_metric
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (result imports us)
+    from repro.asp.runtime.result import RunResult
+
+#: Report format marker; bump when the layout changes incompatibly.
+SCHEMA = "repro.metrics/v1"
+
+
+def summarize_operator(entry: Mapping[str, Any]) -> dict[str, Any]:
+    """Collapse one operator's typed metrics to plain JSON values and
+    derive selectivity (events_out / events_in)."""
+    summary = {name: summarize_metric(value) for name, value in entry.items()}
+    events_in = summary.get("events_in", 0)
+    events_out = summary.get("events_out", 0)
+    summary["selectivity"] = (events_out / events_in) if events_in else 0.0
+    return summary
+
+
+def _summarize_operators(tree: Mapping[str, Any]) -> dict[str, Any]:
+    return {scope: summarize_operator(entry) for scope, entry in tree.items()}
+
+
+def run_report(result: RunResult) -> dict[str, Any]:
+    """The full machine-readable report of one finished run."""
+    operators = _summarize_operators(result.metrics.get("operators", {}))
+    # ``items_out`` counts items that fall off the graph's edge; sinks
+    # consume items without re-emitting, so sink-terminated pipelines
+    # report their accepted items separately.
+    sink_items = sum(op.get("items_accepted", 0) for op in operators.values())
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "job": {
+            "name": result.job_name,
+            "backend": result.metadata.get("backend", "serial"),
+            "events_in": result.events_in,
+            "items_out": result.items_out,
+            "sink_items": sink_items,
+            "wall_seconds": result.wall_seconds,
+            "pipeline_seconds": result.pipeline_seconds,
+            "throughput_tps": result.throughput_tps,
+            "peak_state_bytes": result.peak_state_bytes,
+            "work_units": result.work_units,
+            "failed": result.failed,
+            "failure": result.failure,
+        },
+        "operators": operators,
+    }
+    shards = result.metrics.get("shards")
+    if shards is not None:
+        report["shards"] = [
+            {
+                "shard": view.get("shard", index),
+                "operators": _summarize_operators(view.get("operators", {})),
+            }
+            for index, view in enumerate(shards)
+        ]
+        report["job"]["shard_count"] = result.metadata.get("shards", len(shards))
+    return report
+
+
+def write_metrics_json(result: RunResult, path: str | Path) -> dict[str, Any]:
+    """Serialize the run report to ``path``; returns the report."""
+    report = run_report(result)
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a repro metrics report (schema {report.get('schema')!r})")
+    return report
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds <= 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def render_metrics_summary(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering of a run report (``repro metrics``)."""
+    job = report["job"]
+    lines = [
+        f"job '{job['name']}' [{job['backend']}]"
+        + (f" x{job['shard_count']} shards" if "shard_count" in job else ""),
+        f"  events_in={job['events_in']}"
+        f"  out={job['items_out'] + job.get('sink_items', 0)}"
+        f"  throughput={job['throughput_tps']:,.0f} tpl/s"
+        f"  wall={job['wall_seconds']:.3f}s  peak_state={job['peak_state_bytes']}B"
+        + ("  FAILED: " + str(job["failure"]) if job["failed"] else ""),
+        "",
+    ]
+    header = (
+        f"{'operator':<28} {'kind':<18} {'in':>9} {'out':>9} {'sel':>7} "
+        f"{'p50':>9} {'p95':>9} {'p99':>9} {'peak state':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for scope, op in sorted(report.get("operators", {}).items()):
+        latency = op.get("latency_s") or {}
+        lines.append(
+            f"{scope:<28} {op.get('kind', '?'):<18} "
+            f"{op.get('events_in', 0):>9} {op.get('events_out', 0):>9} "
+            f"{op.get('selectivity', 0.0):>7.3f} "
+            f"{_format_seconds(latency.get('p50', 0.0)):>9} "
+            f"{_format_seconds(latency.get('p95', 0.0)):>9} "
+            f"{_format_seconds(latency.get('p99', 0.0)):>9} "
+            f"{op.get('state_peak_bytes', 0):>9}B"
+        )
+    shards = report.get("shards")
+    if shards:
+        lines.append("")
+        lines.append(f"per-shard events_in (merged view above sums {len(shards)} shards):")
+        for view in shards:
+            total = sum(op.get("events_in", 0) for op in view.get("operators", {}).values())
+            lines.append(f"  shard {view['shard']}: {total} operator-events")
+    return "\n".join(lines)

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.asp.runtime.observability.registry import merge_metric_trees
+
 
 @dataclass
 class RunResult:
@@ -32,6 +34,12 @@ class RunResult:
     #: Backend-specific annotations: backend name, shard count, channel
     #: frame counters, measured shard makespan, ...
     metadata: dict[str, Any] = field(default_factory=dict)
+    #: Typed per-operator metric tree (see
+    #: :mod:`repro.asp.runtime.observability`): ``{"operators": {scope:
+    #: {metric: typed dict}}}``, plus ``"shards"`` views on sharded runs.
+    #: Serializable to JSON via
+    #: :func:`repro.asp.runtime.observability.report.run_report`.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def serial_throughput_tps(self) -> float:
@@ -106,6 +114,19 @@ def merge_shard_results(
         if result.failed:
             failures.append(f"shard {index}: {result.failure}")
     shard_pipeline = [r.pipeline_seconds for r in results]
+    # Operator scopes (name#node_id) are identical across shard clones,
+    # so the per-shard trees roll up scope-by-scope: counters and
+    # histogram buckets add, state gauges sum, watermark lag takes the
+    # max. Both views are kept — the merged tree for job-level totals,
+    # the per-shard list for skew analysis.
+    shard_operator_trees = [r.metrics.get("operators", {}) for r in results]
+    metrics = {
+        "operators": merge_metric_trees(shard_operator_trees),
+        "shards": [
+            {"shard": index, "operators": tree}
+            for index, tree in enumerate(shard_operator_trees)
+        ],
+    }
     return RunResult(
         job_name=job_name,
         events_in=sum(r.events_in for r in results),
@@ -117,6 +138,7 @@ def merge_shard_results(
         failure="; ".join(failures) or None,
         samples=merged_samples,
         stage_seconds=stage_seconds,
+        metrics=metrics,
         metadata={
             "backend": "sharded",
             "shards": shards,

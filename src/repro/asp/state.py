@@ -28,13 +28,15 @@ class StateHandle:
     ledger, cheap enough to update on every event.
     """
 
-    __slots__ = ("name", "owner", "bytes_used", "items")
+    __slots__ = ("name", "owner", "bytes_used", "items", "peak_bytes", "peak_items")
 
     def __init__(self, name: str, owner: str):
         self.name = name
         self.owner = owner
         self.bytes_used = 0
         self.items = 0
+        self.peak_bytes = 0
+        self.peak_items = 0
 
     def adjust(self, delta_bytes: int, delta_items: int = 0) -> None:
         self.bytes_used += delta_bytes
@@ -43,10 +45,19 @@ class StateHandle:
             self.bytes_used = 0
         if self.items < 0:
             self.items = 0
+        # Handle-local peaks power the per-operator observability view
+        # (by the end of a run the terminal watermark has evicted the
+        # buffers, so the final size alone would always read zero).
+        if self.bytes_used > self.peak_bytes:
+            self.peak_bytes = self.bytes_used
+        if self.items > self.peak_items:
+            self.peak_items = self.items
 
     def reset(self) -> None:
         self.bytes_used = 0
         self.items = 0
+        self.peak_bytes = 0
+        self.peak_items = 0
 
     def __repr__(self) -> str:
         return f"StateHandle({self.owner}/{self.name}: {self.items} items, {self.bytes_used} B)"

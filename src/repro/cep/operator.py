@@ -87,3 +87,11 @@ class CepOperator(StatefulOperator):
 
     def total_nfa_work(self) -> int:
         return sum(nfa.work_units for nfa in self._nfas.values())
+
+    def collect_metrics(self) -> dict[str, int | float]:
+        metrics = super().collect_metrics()
+        metrics["matches"] = self.matches
+        metrics["nfa_instances"] = len(self._nfas)
+        metrics["live_partial_matches"] = self.live_partial_matches()
+        metrics["nfa_work_units"] = self.total_nfa_work()
+        return metrics

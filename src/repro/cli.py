@@ -19,6 +19,10 @@ Subcommands
 ``advise``    recommend optimizations from the streams' characteristics::
 
     python -m repro advise -p "..." --stream Q=data/Q.csv --stream V=data/V.csv
+
+``metrics``   re-render a run report written by ``run --metrics-json``::
+
+    python -m repro run --metrics-json out.json && python -m repro metrics out.json
 """
 
 from __future__ import annotations
@@ -29,7 +33,12 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.asp.operators.source import ListSource
-from repro.asp.runtime import resolve_backend
+from repro.asp.runtime import (
+    load_report,
+    render_metrics_summary,
+    resolve_backend,
+    write_metrics_json,
+)
 from repro.asp.time import minutes
 from repro.cep.matches import dedup
 from repro.cep.nfa import run_nfa
@@ -164,6 +173,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"{len(matches)} matches @ {run.throughput_tps:,.0f} tpl/s "
                 f"({backend.name} backend)"
             )
+            if getattr(args, "metrics_json", None):
+                write_metrics_json(run, args.metrics_json)
+                print(f"wrote per-operator metrics report to {args.metrics_json}")
             if backend_spec != "serial":
                 reference = fresh_query()
                 reference.execute()
@@ -235,6 +247,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Summarize a metrics report written by ``run --metrics-json``."""
+    try:
+        report = load_report(args.report)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_metrics_summary(report))
+    return 0
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     pattern = _pattern_from_args(args)
     streams = _streams_from_args(args)
@@ -286,7 +314,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
                      help="shard count for --backend sharded")
     run.add_argument("--show", type=int, default=5,
                      help="print up to N matches (default 5)")
+    run.add_argument("--metrics-json", metavar="PATH",
+                     help="write the per-operator metrics report as JSON")
     run.set_defaults(func=cmd_run)
+
+    metrics = sub.add_parser("metrics",
+                             help="summarize a --metrics-json run report")
+    metrics.add_argument("report", help="path to a metrics JSON report")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the raw report instead of the table")
+    metrics.set_defaults(func=cmd_metrics)
 
     advise = sub.add_parser("advise", help="recommend optimizations")
     add_pattern_args(advise)

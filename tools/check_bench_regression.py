@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for CI.
+
+Compares a fresh ``benchmarks/results/summary.json`` (written by any
+benchmark run via ``benchmarks.common.record_rows``) against the
+committed ``benchmarks/baseline.json``.
+
+Absolute throughput does not transfer between machines (or even between
+runs on a loaded CI box), so the gate checks the *mix*: every cell's
+current/baseline throughput ratio is normalized by the run's median
+ratio, which cancels uniform machine-speed shifts. A cell whose
+normalized ratio falls outside the tolerance (default ±30%) regressed
+relative to the rest of the suite — the signature of a code change
+slowing one operator or optimization — and fails the job. Mismatched
+*match counts* on identical input sizes fail immediately: those are
+correctness, not noise. The trade-off: a perfectly uniform slowdown of
+every cell is indistinguishable from a slower machine and only produces
+a warning; ``--absolute`` restores raw-ratio checking for same-machine
+comparisons.
+
+Usage::
+
+    python tools/check_bench_regression.py benchmarks/results/summary.json
+    python tools/check_bench_regression.py summary.json --tolerance 0.5
+    python tools/check_bench_regression.py summary.json --absolute
+    python tools/check_bench_regression.py summary.json --update   # rebless
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"error: {path} not found")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+
+
+def iter_cells(summary: dict):
+    for experiment, payload in sorted(summary.get("experiments", {}).items()):
+        for key, cell in sorted(payload.get("cells", {}).items()):
+            yield experiment, key, cell
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("summary", type=Path, help="summary.json produced by the benchmark run")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative deviation of a cell's normalized throughput ratio (default 0.30)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw throughput ratios without median normalization (same-machine runs)",
+    )
+    parser.add_argument(
+        "--only-slower", action="store_true", help="fail only on slowdowns, not on speedups"
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="overwrite the baseline with the current summary"
+    )
+    args = parser.parse_args(argv)
+
+    summary = load(args.summary)
+    if args.update:
+        args.baseline.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = load(args.baseline)
+    baseline_cells = {(exp, key): cell for exp, key, cell in iter_cells(baseline)}
+
+    skipped, breaches = 0, []
+    ratios: dict[tuple[str, str], float] = {}
+    for experiment, key, cell in iter_cells(summary):
+        reference = baseline_cells.get((experiment, key))
+        if reference is None:
+            skipped += 1
+            continue
+        if cell.get("failed") != reference.get("failed"):
+            breaches.append(
+                f"{experiment}/{key}: failed={cell.get('failed')} "
+                f"(baseline failed={reference.get('failed')})"
+            )
+            continue
+        same_input = cell.get("events_in") == reference.get("events_in")
+        if cell.get("matches") != reference.get("matches") and same_input:
+            breaches.append(
+                f"{experiment}/{key}: matches {cell.get('matches')} != "
+                f"baseline {reference.get('matches')} (same input size -- "
+                "correctness regression, not noise)"
+            )
+            continue
+        base_tps = reference.get("throughput_tps") or 0.0
+        cur_tps = cell.get("throughput_tps") or 0.0
+        if base_tps > 0 and cur_tps > 0:
+            ratios[(experiment, key)] = cur_tps / base_tps
+
+    median = statistics.median(ratios.values()) if ratios else 1.0
+    scale = 1.0 if args.absolute else median
+    lower, upper = 1.0 - args.tolerance, 1.0 + args.tolerance
+    for (experiment, key), ratio in sorted(ratios.items()):
+        normalized = ratio / scale
+        if normalized < lower:
+            breaches.append(
+                f"{experiment}/{key}: {normalized:.2f}x the suite trend "
+                f"(raw {ratio:.2f}x baseline; < {lower:.2f}x) -- this cell "
+                "regressed relative to the rest of the run"
+            )
+        elif normalized > upper and not args.only_slower:
+            breaches.append(
+                f"{experiment}/{key}: {normalized:.2f}x the suite trend "
+                f"(raw {ratio:.2f}x baseline; > {upper:.2f}x; rebless with "
+                "--update if this speedup is real)"
+            )
+
+    mode = "absolute" if args.absolute else f"normalized by median {median:.2f}x"
+    print(
+        f"bench regression gate: {len(ratios)} cells checked ({mode}), "
+        f"{skipped} not in baseline, tolerance ±{args.tolerance:.0%}"
+    )
+    if not args.absolute and not (lower <= median <= upper):
+        print(
+            f"warning: uniform throughput shift vs baseline ({median:.2f}x) "
+            "-- machine speed difference, or a global regression the "
+            "normalized gate cannot distinguish"
+        )
+    if breaches:
+        print(f"\n{len(breaches)} breach(es):")
+        for line in breaches:
+            print(f"  - {line}")
+        return 1
+    if not ratios:
+        print("warning: no overlapping cells between summary and baseline")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
