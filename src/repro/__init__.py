@@ -26,6 +26,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
 
+from repro.analysis import AnalysisReport, Diagnostic, Severity, analyze_query
 from repro.asp.datamodel import ComplexEvent, Event, Schema, TypeRegistry
 from repro.asp.operators.window import IntervalBounds, WindowSpec, sliding, tumbling
 from repro.asp.stream import StreamEnvironment
@@ -39,6 +40,8 @@ from repro.errors import (
     PatternSyntaxError,
     PatternValidationError,
     ReproError,
+    ShardabilityError,
+    StaticAnalysisError,
     TranslationError,
 )
 from repro.mapping.optimizations import TranslationOptions
@@ -60,15 +63,16 @@ from repro.sea.validation import validate_pattern
 __version__ = "1.0.0"
 
 __all__ = [
-    "CepOperator", "CepPatternBuilder", "ClusterConfig", "ComplexEvent",
-    "Event", "ExecutionError", "IntervalBounds", "MS_PER_MINUTE",
-    "MemoryExhaustedError", "Pattern", "PatternSyntaxError",
-    "PatternValidationError", "ReproError", "STAM", "STNM", "STRICT",
-    "Schema", "SelectionPolicy", "StreamEnvironment", "TranslatedQuery",
-    "TranslationError", "TranslationOptions", "TypeRegistry", "WindowSpec",
-    "build_plan", "conj", "disj", "evaluate_pattern", "from_sea_pattern",
-    "hours", "iteration", "minutes", "nseq", "parse_pattern", "ref",
-    "render_sql", "run_fasp", "run_fasp_on_cluster", "run_fcep",
-    "run_fcep_on_cluster", "seconds", "seq", "sliding", "translate",
-    "tumbling", "validate_pattern",
+    "AnalysisReport", "CepOperator", "CepPatternBuilder", "ClusterConfig",
+    "ComplexEvent", "Diagnostic", "Event", "ExecutionError",
+    "IntervalBounds", "MS_PER_MINUTE", "MemoryExhaustedError", "Pattern",
+    "PatternSyntaxError", "PatternValidationError", "ReproError", "STAM",
+    "STNM", "STRICT", "Schema", "SelectionPolicy", "Severity",
+    "ShardabilityError", "StaticAnalysisError", "StreamEnvironment",
+    "TranslatedQuery", "TranslationError", "TranslationOptions",
+    "TypeRegistry", "WindowSpec", "analyze_query", "build_plan", "conj",
+    "disj", "evaluate_pattern", "from_sea_pattern", "hours", "iteration",
+    "minutes", "nseq", "parse_pattern", "ref", "render_sql", "run_fasp",
+    "run_fasp_on_cluster", "run_fcep", "run_fcep_on_cluster", "seconds",
+    "seq", "sliding", "translate", "tumbling", "validate_pattern",
 ]

@@ -1,0 +1,46 @@
+"""Static plan verifier for the CEP-to-ASP mapping.
+
+A multi-pass analyzer that proves properties of a translated query
+*without executing it*: schema inference (RA1xx), time & watermark
+consistency (RA2xx), state boundedness (RA3xx), partition safety — the
+O3 proof (RA4xx) — and UDF purity via AST linting (RA5xx), plus the
+absorbed structural (RA0xx) and pattern well-formedness (RA01x) checks.
+
+Entry points: :func:`analyze_query` (what ``translate()`` pre-flights
+and ``repro lint`` renders) and :func:`analyze` for piecewise use.
+"""
+
+from repro.analysis.analyzer import analyze, analyze_query
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    error,
+    merge_reports,
+    warning,
+)
+from repro.analysis.partition import shardability_diagnostics
+from repro.analysis.patterncheck import pattern_diagnostics
+from repro.analysis.purity import callable_diagnostics
+from repro.analysis.schema import AliasSchema, alias_scopes, scan_schema
+from repro.analysis.structure import structural_diagnostics
+
+__all__ = [
+    "CODES",
+    "AliasSchema",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "alias_scopes",
+    "analyze",
+    "analyze_query",
+    "callable_diagnostics",
+    "error",
+    "merge_reports",
+    "pattern_diagnostics",
+    "scan_schema",
+    "shardability_diagnostics",
+    "structural_diagnostics",
+    "warning",
+]

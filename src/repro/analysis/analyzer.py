@@ -1,0 +1,110 @@
+"""The multi-pass static analyzer: one entry point over pattern, logical
+plan and physical dataflow.
+
+``analyze_query`` is what ``translate()`` runs as its opt-out pre-flight
+and what ``repro lint`` renders; ``analyze`` is the lower-level hook for
+callers that hold the pieces individually (tests, the sharded backend).
+No pass executes the dataflow — everything is derived from the pattern
+AST, the plan tree, operator metadata and UDF source code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.partition import (
+    plan_partition_diagnostics,
+    shardability_diagnostics,
+)
+from repro.analysis.patterncheck import pattern_diagnostics
+from repro.analysis.purity import flow_purity_diagnostics, plan_purity_diagnostics
+from repro.analysis.schema import schema_diagnostics
+from repro.analysis.state import flow_state_diagnostics, plan_state_diagnostics
+from repro.analysis.structure import structural_diagnostics
+from repro.analysis.timing import flow_time_diagnostics, plan_time_diagnostics
+from repro.asp.datamodel import TypeRegistry
+from repro.mapping.plan import LogicalPlan
+from repro.sea.ast import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.asp.graph import Dataflow
+    from repro.mapping.translator import TranslatedQuery
+
+
+def analyze(
+    pattern: Optional[Pattern] = None,
+    plan: Optional[LogicalPlan] = None,
+    flow: Optional["Dataflow"] = None,
+    *,
+    options: Any = None,
+    sources: Optional[Mapping[str, object]] = None,
+    registry: Optional[TypeRegistry] = None,
+    min_inter_event_gap: Optional[int] = None,
+    max_out_of_orderness: int = 0,
+    prove_shardable: Optional[bool] = None,
+    require_sinks: bool = False,
+    target: str = "",
+) -> AnalysisReport:
+    """Run every applicable pass over the pieces provided."""
+    partition_attribute = getattr(options, "partition_attribute", None)
+    iteration_strategy = getattr(options, "iteration_strategy", "join")
+    if prove_shardable is None:
+        prove_shardable = partition_attribute is not None
+    diags: list[Diagnostic] = []
+    if pattern is not None:
+        diags.extend(pattern_diagnostics(pattern, registry, min_inter_event_gap))
+    if plan is not None:
+        diags.extend(schema_diagnostics(plan, pattern, registry, sources))
+        diags.extend(plan_time_diagnostics(plan, min_inter_event_gap))
+        diags.extend(plan_state_diagnostics(plan, pattern, iteration_strategy))
+        diags.extend(
+            plan_partition_diagnostics(
+                plan,
+                partition_attribute,
+                registry,
+                sources,
+                prove_shardable=bool(prove_shardable),
+            )
+        )
+        diags.extend(plan_purity_diagnostics(plan))
+    if flow is not None:
+        diags.extend(structural_diagnostics(flow, require_sinks=require_sinks))
+        diags.extend(flow_time_diagnostics(flow, max_out_of_orderness))
+        diags.extend(flow_state_diagnostics(flow))
+        diags.extend(flow_purity_diagnostics(flow))
+        if prove_shardable:
+            diags.extend(shardability_diagnostics(flow))
+    if not target:
+        if pattern is not None:
+            target = pattern.name
+        elif plan is not None:
+            target = plan.pattern_name
+        elif flow is not None:
+            target = flow.name
+    return AnalysisReport(target=target, diagnostics=tuple(diags))
+
+
+def analyze_query(
+    query: "TranslatedQuery",
+    *,
+    registry: Optional[TypeRegistry] = None,
+    min_inter_event_gap: Optional[int] = None,
+    max_out_of_orderness: int = 0,
+    prove_shardable: Optional[bool] = None,
+    require_sinks: bool = False,
+) -> AnalysisReport:
+    """Analyze a translated query end to end (pattern + plan + dataflow)."""
+    return analyze(
+        pattern=query.pattern,
+        plan=query.plan,
+        flow=query.env.flow,
+        options=getattr(query, "options", None),
+        sources=getattr(query, "sources", None),
+        registry=registry,
+        min_inter_event_gap=min_inter_event_gap,
+        max_out_of_orderness=max_out_of_orderness,
+        prove_shardable=prove_shardable,
+        require_sinks=require_sinks,
+        target=query.pattern.name,
+    )

@@ -1,0 +1,201 @@
+"""Typed diagnostics for the static plan verifier.
+
+Every finding the analyzer produces is a :class:`Diagnostic`: a stable
+code (``RA101``), a severity, a human-readable message and — where the
+finding is attached to something locatable — an operator/plan-node name
+and a source location. Codes are stable across releases so tests, CI
+gates and suppression lists can key on them; messages are free to
+improve.
+
+Code families
+-------------
+
+====== =========================================================
+RA0xx  dataflow structure (sources, sinks, cycles, port arity)
+RA01x  pattern well-formedness (aliases, types, OR/NSEQ shape)
+RA1xx  schema inference (unresolvable fields, union compatibility)
+RA2xx  time & watermarks (degenerate windows, Theorem 2, lateness)
+RA3xx  state boundedness (the O2 motivation, checked statically)
+RA4xx  partition safety (the O3 proof, replacing "trust the flag")
+RA5xx  UDF purity (nondeterminism, I/O, closed-over mutable state)
+====== =========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import StaticAnalysisError
+
+
+class Severity(enum.Enum):
+    """How bad a finding is: errors block translation, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+#: Registry of every diagnostic code with its one-line meaning. The
+#: analyzer may only emit codes listed here (enforced by ``Diagnostic``).
+CODES: dict[str, str] = {
+    # structure (absorbed from Graph.validate)
+    "RA001": "dataflow has no sources",
+    "RA002": "dataflow has no sinks",
+    "RA003": "dataflow contains a cycle",
+    "RA004": "operator input ports are malformed",
+    # pattern well-formedness (absorbed from sea.validation)
+    "RA011": "alias bound more than once",
+    "RA012": "unknown event types",
+    "RA013": "WHERE references unbound aliases",
+    "RA014": "OR operand is not a plain event type reference",
+    "RA015": "NSEQ operand is not an event type reference",
+    # schema inference
+    "RA101": "attribute reference cannot resolve against the inferred schema",
+    "RA102": "union operands are not union compatible",
+    "RA103": "RETURN projection cannot resolve",
+    # time & watermarks
+    "RA201": "degenerate window bounds",
+    "RA202": "empty interval-join bounds",
+    "RA203": "window slide exceeds the minimal inter-event gap (Theorem 2)",
+    "RA204": "declared out-of-orderness reaches an operator's state horizon",
+    "RA205": "union inputs accumulate asymmetric watermark delays",
+    # state boundedness
+    "RA301": "stateful operator declares no state horizon (unbounded state)",
+    "RA302": "join-mapped iteration enumerates combinatorial state",
+    "RA303": "heavily overlapping sliding windows multiply state",
+    # partition safety
+    "RA401": "operator on a sharded path is not key-parallel safe",
+    "RA402": "partition attribute missing from an input schema",
+    "RA403": "sharded execution claimed but no key set is derivable",
+    # UDF purity
+    "RA501": "UDF calls a nondeterministic function",
+    "RA502": "UDF performs I/O",
+    "RA503": "UDF mutates closed-over or global state",
+    "RA504": "UDF source unavailable; purity cannot be proven",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, stable-coded and renderable."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: The plan node / operator / pattern element the finding is about.
+    where: str = ""
+    #: Source location (``file:line``) when the finding points at code.
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def render(self) -> str:
+        at = f" at {self.where}" if self.where else ""
+        loc = f" ({self.source})" if self.source else ""
+        return f"{self.severity.value}[{self.code}]{at}: {self.message}{loc}"
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "where": self.where,
+            "source": self.source,
+        }
+
+
+def error(code: str, message: str, where: str = "", source: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, message, where, source)
+
+
+def warning(code: str, message: str, where: str = "", source: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, message, where, source)
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one analyzer run over a query/plan/dataflow."""
+
+    target: str = ""
+    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if not d.is_error)
+
+    def ok(self) -> bool:
+        """True when no error-level diagnostic was found."""
+        return not self.errors
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def render(self) -> str:
+        name = self.target or "plan"
+        if not self.diagnostics:
+            return f"{name}: ok (0 diagnostics)"
+        lines = [
+            f"{name}: {len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        ]
+        lines.extend("  " + d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, Any]:
+        """Machine-readable roll-up for the ``repro.metrics/v1`` report."""
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+        return {
+            "ok": self.ok(),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "codes": dict(sorted(counts.items())),
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "summary": self.summary(),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def raise_for_errors(self) -> None:
+        """Raise :class:`StaticAnalysisError` if any error was found."""
+        errors = self.errors
+        if not errors:
+            return
+        head = errors[0]
+        more = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+        raise StaticAnalysisError(
+            f"static analysis of '{self.target or 'plan'}' failed: "
+            f"{head.render()}{more}",
+            diagnostics=self.diagnostics,
+        )
+
+
+def merge_reports(target: str, parts: Iterable[AnalysisReport]) -> AnalysisReport:
+    diags: list[Diagnostic] = []
+    for part in parts:
+        diags.extend(part.diagnostics)
+    return AnalysisReport(target=target, diagnostics=tuple(diags))

@@ -1,0 +1,111 @@
+"""Pattern well-formedness pass (RA01x, RA203): the old
+``sea.validation.validate_pattern`` rules as diagnostics.
+
+Messages match the historical ``PatternValidationError`` texts exactly;
+``validate_pattern`` now delegates here and raises on the first error,
+so every pre-existing call site keeps its observable behavior.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, error
+from repro.asp.datamodel import TypeRegistry
+from repro.asp.operators.window import validate_slide_for_rate
+from repro.sea.ast import (
+    Disjunction,
+    EventTypeRef,
+    Iteration,
+    NegatedSequence,
+    Pattern,
+    PatternNode,
+)
+
+
+def _collect_binding_aliases(node: PatternNode) -> list[str]:
+    """Aliases available to WHERE: iteration aliases are usable both bare
+    (applies to every repetition) and indexed (``v[1]``)."""
+    out: list[str] = []
+    for sub in node.walk():
+        if isinstance(sub, EventTypeRef):
+            out.append(sub.alias)
+        if isinstance(sub, Iteration):
+            out.extend(sub.aliases())
+    return out
+
+
+def pattern_diagnostics(
+    pattern: Pattern,
+    registry: TypeRegistry | None = None,
+    min_inter_event_gap: int | None = None,
+) -> list[Diagnostic]:
+    """Well-formedness findings for a (normalized) pattern."""
+    from repro.sea.validation import normalize_pattern
+
+    pattern = normalize_pattern(pattern)
+    root = pattern.root
+    name = pattern.name
+    out: list[Diagnostic] = []
+
+    bound: list[str] = []
+    for node in root.walk():
+        if isinstance(node, EventTypeRef):
+            bound.append(node.alias)
+    duplicates = {a for a in bound if bound.count(a) > 1}
+    if duplicates:
+        out.append(
+            error("RA011", f"aliases bound more than once: {sorted(duplicates)}", name)
+        )
+
+    if registry is not None:
+        unknown = [t for t in root.event_types() if t not in registry]
+        if unknown:
+            out.append(
+                error("RA012", f"unknown event types: {sorted(set(unknown))}", name)
+            )
+
+    # WHERE may only reference bound aliases; NSEQ's negated alias binds
+    # no output, but predicates on it are allowed (they scope the blocker)
+    # so it is included in the referenceable set.
+    referenceable = set(_collect_binding_aliases(root))
+    unreferenced = pattern.where.aliases() - referenceable
+    if unreferenced:
+        out.append(
+            error(
+                "RA013",
+                f"WHERE references unbound aliases: {sorted(unreferenced)}",
+                name,
+            )
+        )
+
+    for node in root.walk():
+        if isinstance(node, Disjunction):
+            for part in node.parts:
+                if not isinstance(part, EventTypeRef):
+                    out.append(
+                        error(
+                            "RA014",
+                            "OR operands must be plain event type references "
+                            "(union compatibility, paper Section 4.1)",
+                            name,
+                        )
+                    )
+        if isinstance(node, NegatedSequence):
+            if not isinstance(node.first, EventTypeRef):
+                out.append(
+                    error("RA015", "NSEQ operands must be event type references", name)
+                )
+
+    # Theorem 2: the slide must not exceed the smallest inter-event gap of
+    # the fastest stream, otherwise matches can be lost between windows.
+    if min_inter_event_gap is not None:
+        if not validate_slide_for_rate(pattern.window, min_inter_event_gap):
+            out.append(
+                error(
+                    "RA203",
+                    f"slide {pattern.window.slide} exceeds the minimal inter-event "
+                    f"gap {min_inter_event_gap}; matches may be lost (Theorem 2)",
+                    name,
+                )
+            )
+
+    return out

@@ -1,0 +1,66 @@
+"""Structural pass (RA0xx): graph shape checks absorbed from
+``Dataflow.validate``.
+
+The messages intentionally match the historical ``GraphError`` texts so
+``Dataflow.validate`` can delegate here and existing callers (and their
+tests) observe identical behavior.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, error
+from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.asp.graph import Dataflow
+
+
+def structural_diagnostics(
+    flow: "Dataflow", *, require_sinks: bool = True
+) -> list[Diagnostic]:
+    """Sources present, sinks present, acyclic, input ports well-formed.
+
+    ``require_sinks=False`` is used by the translate-time pre-flight: a
+    freshly translated query has no sink yet (``attach_sink`` adds it),
+    which is not a defect of the plan.
+    """
+    out: list[Diagnostic] = []
+    if not flow.source_nodes():
+        out.append(error("RA001", f"dataflow '{flow.name}' has no sources", flow.name))
+    if require_sinks and not flow.sink_nodes():
+        out.append(error("RA002", f"dataflow '{flow.name}' has no sinks", flow.name))
+    try:
+        flow.topological_order()
+    except GraphError as exc:
+        out.append(error("RA003", str(exc), flow.name))
+        return out
+    for node in flow.operator_nodes():
+        ports = sorted(e.port for e in flow.in_edges(node.node_id))
+        arity = node.operator.arity
+        if not ports:
+            out.append(error("RA004", f"operator '{node.name}' has no inputs", node.name))
+            continue
+        expected = list(range(arity))
+        missing = [p for p in expected if p not in ports]
+        if missing:
+            out.append(
+                error(
+                    "RA004",
+                    f"operator '{node.name}' (arity {arity}) is missing inputs "
+                    f"on ports {missing}",
+                    node.name,
+                )
+            )
+        invalid = [p for p in ports if p >= arity]
+        if invalid:
+            out.append(
+                error(
+                    "RA004",
+                    f"operator '{node.name}' (arity {arity}) received edges on "
+                    f"invalid ports {sorted(set(invalid))}",
+                    node.name,
+                )
+            )
+    return out

@@ -127,29 +127,18 @@ class Dataflow:
         return order
 
     def validate(self) -> None:
-        if not self.source_nodes():
-            raise GraphError(f"dataflow '{self.name}' has no sources")
-        if not self.sink_nodes():
-            raise GraphError(f"dataflow '{self.name}' has no sinks")
-        self.topological_order()
-        for node in self.operator_nodes():
-            ports = sorted(e.port for e in self.in_edges(node.node_id))
-            arity = node.operator.arity
-            if not ports:
-                raise GraphError(f"operator '{node.name}' has no inputs")
-            expected = list(range(arity))
-            missing = [p for p in expected if p not in ports]
-            if missing:
-                raise GraphError(
-                    f"operator '{node.name}' (arity {arity}) is missing inputs "
-                    f"on ports {missing}"
-                )
-            invalid = [p for p in ports if p >= arity]
-            if invalid:
-                raise GraphError(
-                    f"operator '{node.name}' (arity {arity}) received edges on "
-                    f"invalid ports {sorted(set(invalid))}"
-                )
+        """Structural well-formedness; raises on the first violation.
+
+        The checks themselves live in the static analyzer's structural
+        pass (``repro.analysis.structure``, codes RA001-RA004); this
+        thin wrapper keeps the historical raise-first ``GraphError``
+        contract for runtime callers. Imported lazily: the analysis
+        package sits above the graph layer.
+        """
+        from repro.analysis.structure import structural_diagnostics
+
+        for diagnostic in structural_diagnostics(self, require_sinks=True):
+            raise GraphError(diagnostic.message)
 
     # -- reporting -----------------------------------------------------------
 

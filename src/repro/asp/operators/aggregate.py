@@ -87,6 +87,10 @@ class WindowAggregate(StatefulOperator):
     def key_parallel_safe(self) -> bool:
         return self.is_keyed
 
+    def state_horizon_ms(self) -> int:
+        # Per-window accumulators drop once their window fires.
+        return self.window.size
+
     def collect_metrics(self) -> dict[str, int | float]:
         metrics = super().collect_metrics()
         metrics["windows_fired"] = self.windows_fired

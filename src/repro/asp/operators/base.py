@@ -116,6 +116,18 @@ class Operator:
         """
         return 0
 
+    def state_horizon_ms(self) -> int | None:
+        """Event-time span after which watermark progress provably evicts
+        this operator's state, or ``None`` when no such bound exists.
+
+        Stateless operators hold nothing (horizon 0). Stateful operators
+        must override this with their window/bounds span; a stateful
+        operator that returns ``None`` keeps state forever on an
+        unbounded stream, which the static analyzer reports as RA301
+        (the O2 motivation, checked without running the job).
+        """
+        return 0
+
     # -- introspection ----------------------------------------------------
 
     @property
@@ -194,3 +206,7 @@ class StatefulOperator(Operator):
     def key_parallel_safe(self) -> bool:
         """Unsafe unless the subclass declares its state keyed."""
         return False
+
+    def state_horizon_ms(self) -> int | None:
+        """Unbounded unless the subclass declares its eviction span."""
+        return None

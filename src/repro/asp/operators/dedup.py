@@ -50,6 +50,10 @@ class DedupOperator(StatefulOperator):
         # the original, so both land on the same shard.
         return True
 
+    def state_horizon_ms(self) -> int:
+        # Seen keys are forgotten one window span behind the watermark.
+        return self.window_size
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._handle = self.create_state("seen-keys")

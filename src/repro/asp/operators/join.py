@@ -200,6 +200,10 @@ class SlidingWindowJoin(StatefulOperator):
         # watermark (emit_ts="min" of a pair whose window just closed).
         return self.window.size
 
+    def state_horizon_ms(self) -> int:
+        # Side buffers evict items once no shared window can contain them.
+        return self.window.size
+
     def _is_first_shared_window(self, window_begin: int, newest: int) -> bool:
         """True when this window is the earliest containing the whole
         composition (anchored at its newest constituent)."""
@@ -341,6 +345,10 @@ class IntervalJoin(StatefulOperator):
     def watermark_delay(self) -> int:
         # Eagerly emitted pairs can be up to max(upper, -lower) behind the
         # newest arrival that triggered them.
+        return max(self.bounds.upper, -self.bounds.lower)
+
+    def state_horizon_ms(self) -> int:
+        # Buffers evict at wm - upper (left) / wm + lower (right).
         return max(self.bounds.upper, -self.bounds.lower)
 
     def process(self, item: Item, port: int = 0) -> Iterable[Item]:

@@ -104,6 +104,9 @@ class MultiWayWindowJoin(StatefulOperator):
     def watermark_delay(self) -> int:
         return self.window.size
 
+    def state_horizon_ms(self) -> int:
+        return self.window.size
+
     def process(self, item: Item, port: int = 0) -> Iterable[Item]:
         self._ensure_buffers()
         self.work_units += 1

@@ -80,6 +80,10 @@ class NextOccurrenceUdf(StatefulOperator):
         # A pending T1 event is held until its window elapses.
         return self.window_size
 
+    def state_horizon_ms(self) -> int:
+        # Pending T1 events resolve (emit or drop) after one window span.
+        return self.window_size
+
     def process(self, item: Item, port: int = 0) -> Iterable[Item]:
         self.work_units += 1
         if not isinstance(item, Event):

@@ -50,7 +50,7 @@ from repro.asp.operators.sink import (
 from repro.asp.runtime.backends.base import ExecutionSettings
 from repro.asp.runtime.backends.serial import SerialJob
 from repro.asp.runtime.result import RunResult, merge_shard_results
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ShardabilityError
 
 try:  # cloudpickle ships lambdas; the inline mode works without it.
     import cloudpickle
@@ -107,17 +107,19 @@ class ShardedBackend:
     # -- plan admission ----------------------------------------------------
 
     def check_shardable(self, flow: Dataflow) -> None:
-        """A plan may shard only if no operator mixes keys in its state."""
-        unsafe = [
-            node.name
-            for node in flow.operator_nodes()
-            if not node.operator.key_parallel_safe
-        ]
-        if unsafe:
-            raise ExecutionError(
-                "dataflow is not key-parallel safe: operators "
-                f"{unsafe} hold cross-key state; translate with O3 "
-                "(partition_attribute) or use the serial backend"
+        """A plan may shard only if no operator mixes keys in its state.
+
+        Delegates to the static analyzer's partition-safety pass and
+        raises a structured :class:`ShardabilityError` carrying the RA401
+        diagnostics, so callers can inspect *which* operators block O3
+        instead of parsing the message.
+        """
+        from repro.analysis.partition import shardability_diagnostics
+
+        diagnostics = shardability_diagnostics(flow)
+        if diagnostics:
+            raise ShardabilityError(
+                diagnostics[0].message, diagnostics=tuple(diagnostics)
             )
 
     # -- execution ---------------------------------------------------------

@@ -61,6 +61,11 @@ def run_report(result: RunResult) -> dict[str, Any]:
         },
         "operators": operators,
     }
+    analysis = result.metrics.get("analysis")
+    if analysis is not None:
+        # Static pre-flight findings (repro.analysis) share the report
+        # surface with runtime observability.
+        report["analysis"] = analysis
     shards = result.metrics.get("shards")
     if shards is not None:
         report["shards"] = [
@@ -109,8 +114,16 @@ def render_metrics_summary(report: Mapping[str, Any]) -> str:
         f"  throughput={job['throughput_tps']:,.0f} tpl/s"
         f"  wall={job['wall_seconds']:.3f}s  peak_state={job['peak_state_bytes']}B"
         + ("  FAILED: " + str(job["failure"]) if job["failed"] else ""),
-        "",
     ]
+    analysis = report.get("analysis")
+    if analysis:
+        codes = ", ".join(f"{c}x{n}" for c, n in sorted(analysis.get("codes", {}).items()))
+        lines.append(
+            f"  static analysis: {analysis.get('errors', 0)} error(s), "
+            f"{analysis.get('warnings', 0)} warning(s)"
+            + (f" [{codes}]" if codes else "")
+        )
+    lines.append("")
     header = (
         f"{'operator':<28} {'kind':<18} {'in':>9} {'out':>9} {'sel':>7} "
         f"{'p50':>9} {'p95':>9} {'p99':>9} {'peak state':>10}"

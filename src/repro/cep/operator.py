@@ -51,6 +51,10 @@ class CepOperator(StatefulOperator):
         # partitioning the key space partitions its state exactly.
         return self.key_fn is not None
 
+    def state_horizon_ms(self) -> int:
+        # Partial matches expire when their WITHIN window elapses.
+        return self.pattern.window_size
+
     def setup(self, registry) -> None:
         super().setup(registry)
         self._handle = self.create_state("nfa-partial-matches")

@@ -23,6 +23,11 @@ Subcommands
 ``metrics``   re-render a run report written by ``run --metrics-json``::
 
     python -m repro run --metrics-json out.json && python -m repro metrics out.json
+
+``lint``      statically verify a pattern's mapped plan (repro.analysis)::
+
+    python -m repro lint -p "PATTERN SEQ(Q a, V b) WITHIN 15 MINUTES" --o3 id
+    python -m repro lint --catalog
 """
 
 from __future__ import annotations
@@ -263,6 +268,64 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_one(pattern, options, streams=None, sharded=False):
+    """Translate (without pre-flight) and analyze one pattern; returns
+    the report. Streams default to empty typed sources, so linting needs
+    no data."""
+    from repro.analysis import analyze_query
+
+    sources = {
+        t: ListSource(
+            (streams or {}).get(t, []), name=f"src[{t}]", event_type=t
+        )
+        for t in pattern.distinct_event_types()
+    }
+    query = translate(pattern, sources, options, analyze=False)
+    return analyze_query(query, prove_shardable=True if sharded else None)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.mapping.advisor import recommend_options as _recommend
+
+    jobs: list[tuple[object, object]] = []
+    if args.catalog:
+        from repro.patterns import CATALOG
+
+        for name in sorted(CATALOG):
+            pattern = CATALOG[name]()
+            options = _recommend(pattern).options
+            jobs.append((pattern, options))
+    else:
+        pattern = _pattern_from_args(args)
+        options = _options_from_args(args)
+        jobs.append((pattern, options))
+
+    streams = None
+    if getattr(args, "stream", None):
+        streams = _streams_from_args(args)
+
+    reports = []
+    for pattern, options in jobs:
+        reports.append(_lint_one(pattern, options, streams, sharded=args.sharded))
+
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.json:
+        import json
+
+        print(json.dumps([r.as_dict() for r in reports], indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+    failed = errors > 0 or (args.strict and warnings > 0)
+    if not args.json:
+        print(
+            f"linted {len(reports)} plan(s): {errors} error(s), "
+            f"{warnings} warning(s) -> {'FAIL' if failed else 'OK'}"
+        )
+    return 1 if failed else 0
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     pattern = _pattern_from_args(args)
     streams = _streams_from_args(args)
@@ -329,6 +392,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
     add_pattern_args(advise)
     advise.add_argument("--stream", action="append", metavar="TYPE=PATH")
     advise.set_defaults(func=cmd_advise)
+
+    lint = sub.add_parser(
+        "lint", help="statically verify a pattern's mapped plan (no execution)"
+    )
+    add_pattern_args(lint)
+    lint.add_argument("--catalog", action="store_true",
+                      help="lint every pattern in the built-in catalog with "
+                           "its advisor-recommended optimizations")
+    lint.add_argument("--stream", action="append", metavar="TYPE=PATH",
+                      help="optional CSV stream per event type; improves "
+                           "schema inference (repeatable)")
+    lint.add_argument("--sharded", action="store_true",
+                      help="additionally prove O3 partition safety (RA4xx)")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as errors")
+    lint.add_argument("--json", action="store_true",
+                      help="emit diagnostics as JSON")
+    lint.set_defaults(func=cmd_lint)
 
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("experiment", help="fig3a..fig3f, fig4, fig6")

@@ -49,12 +49,38 @@ class OptimizationError(ReproError):
     """An optimization (O1/O2/O3) is not applicable to the given pattern."""
 
 
+class StaticAnalysisError(TranslationError):
+    """The static plan verifier found error-level diagnostics.
+
+    Subclasses :class:`TranslationError` so callers that already guard
+    ``translate()`` keep working; the individual findings are available on
+    :attr:`diagnostics` (a tuple of ``repro.analysis.Diagnostic``).
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class GraphError(ReproError):
     """The dataflow graph is structurally invalid (cycle, dangling edge...)."""
 
 
 class ExecutionError(ReproError):
     """A streaming job failed during execution."""
+
+
+class ShardabilityError(ExecutionError):
+    """A dataflow cannot be key-partitioned (O3, sharded backend).
+
+    Carries the structured diagnostics explaining *which* operators hold
+    cross-key state, so tooling can render them instead of parsing the
+    message text.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
 
 
 class MemoryExhaustedError(ExecutionError):

@@ -124,6 +124,18 @@ def recommend_options(
         reasons.append(
             f"O3: partitioning by explicit attribute '{partition_attribute}'"
         )
+        # Static schema check (repro.analysis): a partition attribute no
+        # stream carries would fail the RA402 pre-flight at translate time.
+        from repro.analysis.schema import scan_schema
+
+        for event_type in sorted(set(pattern.root.event_types())):
+            info = scan_schema(event_type, registry)
+            if info.closed and not info.resolves(partition_attribute):
+                reasons.append(
+                    f"warning: '{partition_attribute}' is missing from the "
+                    f"declared schema of '{event_type}' (RA402); O3 would be "
+                    "rejected by the static pre-flight"
+                )
     elif equi:
         rendered = ", ".join(c.render() for c in equi)
         reasons.append(

@@ -331,12 +331,18 @@ class TranslatedQuery:
         plan: LogicalPlan,
         env: StreamEnvironment,
         output: StreamHandle,
+        options: TranslationOptions | None = None,
+        sources: Mapping[str, Source] | None = None,
     ):
         self.pattern = pattern
         self.plan = plan
         self.env = env
         self.output = output
+        self.options = options or TranslationOptions()
+        self.sources = dict(sources) if sources is not None else {}
         self.sink: Sink | None = None
+        #: The pre-flight static analysis report (``translate(analyze=True)``).
+        self.analysis = None
 
     def attach_sink(self, sink: Sink | None = None) -> Sink:
         self.sink = self.output.sink(sink)
@@ -353,13 +359,18 @@ class TranslatedQuery:
         if self.sink is None:
             self.attach_sink(CollectSink())
         interval = watermark_interval or self.plan.window_slide
-        return self.env.execute(
+        result = self.env.execute(
             memory_budget_bytes=memory_budget_bytes,
             watermark_interval=interval,
             sample_every=sample_every,
             max_out_of_orderness=max_out_of_orderness,
             backend=backend,
         )
+        if self.analysis is not None:
+            # Static analysis and runtime observability share one
+            # machine-readable surface (the repro.metrics/v1 report).
+            result.metrics["analysis"] = self.analysis.summary()
+        return result
 
     def matches(self) -> list[ComplexEvent]:
         if not isinstance(self.sink, CollectSink):
@@ -419,11 +430,27 @@ def translate(
     sources: Mapping[str, Source],
     options: TranslationOptions | None = None,
     registry: TypeRegistry | None = None,
+    analyze: bool = True,
 ) -> TranslatedQuery:
-    """Map a CEP pattern onto an executable ASP dataflow (Section 4)."""
+    """Map a CEP pattern onto an executable ASP dataflow (Section 4).
+
+    Unless ``analyze=False``, the static plan verifier
+    (:mod:`repro.analysis`) pre-flights the result — schema resolution,
+    window sanity, state boundedness, O3 partition safety and UDF purity
+    — and raises :class:`~repro.errors.StaticAnalysisError` (a
+    :class:`TranslationError`) on error-level findings, so a statically
+    unsafe plan never reaches execution.
+    """
     options = options or TranslationOptions()
     plan = build_plan(pattern, options, registry=registry)
     env = StreamEnvironment(name=f"{pattern.name}[{options.label()}]")
     compiler = _Compiler(env, sources, plan, options)
     output = compiler.compile(plan.root)
-    return TranslatedQuery(pattern, plan, env, output)
+    query = TranslatedQuery(pattern, plan, env, output, options, sources)
+    if analyze:
+        from repro.analysis import analyze_query
+
+        report = analyze_query(query, registry=registry)
+        query.analysis = report
+        report.raise_for_errors()
+    return query

@@ -19,14 +19,10 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.asp.datamodel import TypeRegistry
-from repro.asp.operators.window import validate_slide_for_rate
 from repro.errors import PatternValidationError
 from repro.sea.ast import (
     Conjunction,
     Disjunction,
-    EventTypeRef,
-    Iteration,
-    NegatedSequence,
     Pattern,
     PatternNode,
     Sequence,
@@ -69,18 +65,6 @@ def normalize_pattern(pattern: Pattern) -> Pattern:
     return replace(pattern, root=normalize(pattern.root))
 
 
-def _collect_binding_aliases(node: PatternNode) -> list[str]:
-    """Aliases available to WHERE: iteration aliases are usable both bare
-    (applies to every repetition) and indexed (``v[1]``)."""
-    out: list[str] = []
-    for sub in node.walk():
-        if isinstance(sub, EventTypeRef):
-            out.append(sub.alias)
-        if isinstance(sub, Iteration):
-            out.extend(sub.aliases())
-    return out
-
-
 def validate_pattern(
     pattern: Pattern,
     registry: TypeRegistry | None = None,
@@ -89,59 +73,16 @@ def validate_pattern(
     """Validate (and normalize) a pattern; returns the normalized pattern.
 
     Raises :class:`PatternValidationError` on the first violation found.
+    The checks themselves live in the static analyzer's pattern pass
+    (``repro.analysis.patterncheck``, codes RA011-RA015 and RA203); this
+    thin wrapper keeps the historical raise-first contract. Imported
+    lazily: the analysis package sits above the SEA layer.
     """
+    from repro.analysis.patterncheck import pattern_diagnostics
+
     pattern = normalize_pattern(pattern)
-    root = pattern.root
-
-    # Alias uniqueness over binding positions.
-    bound: list[str] = []
-    for node in root.walk():
-        if isinstance(node, EventTypeRef):
-            bound.append(node.alias)
-    duplicates = {a for a in bound if bound.count(a) > 1}
-    if duplicates:
-        raise PatternValidationError(
-            f"aliases bound more than once: {sorted(duplicates)}"
-        )
-
-    # Event types must exist when a registry is provided.
-    if registry is not None:
-        unknown = [t for t in root.event_types() if t not in registry]
-        if unknown:
-            raise PatternValidationError(f"unknown event types: {sorted(set(unknown))}")
-
-    # WHERE may only reference bound aliases; NSEQ's negated alias binds
-    # no output, but predicates on it are allowed (they scope the blocker)
-    # so it is included in the referenceable set.
-    referenceable = set(_collect_binding_aliases(root))
-    unreferenced = pattern.where.aliases() - referenceable
-    if unreferenced:
-        raise PatternValidationError(
-            f"WHERE references unbound aliases: {sorted(unreferenced)}"
-        )
-
-    # Structural restrictions of the mapping.
-    for node in root.walk():
-        if isinstance(node, Disjunction):
-            for part in node.parts:
-                if not isinstance(part, EventTypeRef):
-                    raise PatternValidationError(
-                        "OR operands must be plain event type references "
-                        "(union compatibility, paper Section 4.1)"
-                    )
-        if isinstance(node, NegatedSequence):
-            if not isinstance(node.first, EventTypeRef):
-                raise PatternValidationError("NSEQ operands must be event type references")
-
-    # Theorem 2: the slide must not exceed the smallest inter-event gap of
-    # the fastest stream, otherwise matches can be lost between windows.
-    if min_inter_event_gap is not None:
-        if not validate_slide_for_rate(pattern.window, min_inter_event_gap):
-            raise PatternValidationError(
-                f"slide {pattern.window.slide} exceeds the minimal inter-event "
-                f"gap {min_inter_event_gap}; matches may be lost (Theorem 2)"
-            )
-
+    for diagnostic in pattern_diagnostics(pattern, registry, min_inter_event_gap):
+        raise PatternValidationError(diagnostic.message)
     return pattern
 
 

@@ -1,0 +1,93 @@
+"""Zero-false-positive guarantee of the static verifier.
+
+Every pattern the repository itself ships (the smart-city catalog) and a
+hypothesis-generated population of random valid patterns must translate
+with the pre-flight enabled and produce **zero error diagnostics** under
+every optimization level — the analyzer may warn, but an error on a
+valid plan is a false positive and a test failure.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_query
+from repro.asp.operators.source import ListSource
+from repro.mapping.advisor import recommend_options
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.translator import translate
+from repro.patterns import CATALOG
+from repro.sea.parser import parse_pattern
+
+import pytest
+
+TYPES = ["Q", "V", "W"]
+
+
+def empty_sources(pattern):
+    return {
+        t: ListSource([], name=t, event_type=t)
+        for t in pattern.distinct_event_types()
+    }
+
+
+@st.composite
+def valid_pattern_text(draw):
+    """Random valid flat or nested patterns (mirrors test_random_patterns)."""
+    shape = draw(st.sampled_from(["flat", "nested", "iter"]))
+    if shape == "iter":
+        m = draw(st.integers(min_value=2, max_value=4))
+        structure = f"ITER{m}({draw(st.sampled_from(TYPES))} v)"
+        aliases = ["v"]
+    elif shape == "nested":
+        inner = draw(st.sampled_from(["SEQ", "AND"]))
+        outer = draw(st.sampled_from(["SEQ", "AND"]))
+        t = [draw(st.sampled_from(TYPES)) for _ in range(3)]
+        structure = f"{outer}({t[0]} x0, {inner}({t[1]} x1, {t[2]} x2))"
+        aliases = ["x0", "x1", "x2"]
+    else:
+        operator = draw(st.sampled_from(["SEQ", "AND", "OR"]))
+        n = draw(st.integers(min_value=2, max_value=3))
+        refs = [f"{draw(st.sampled_from(TYPES))} x{i}" for i in range(n)]
+        structure = f"{operator}({', '.join(refs)})"
+        aliases = [] if operator == "OR" else [f"x{i}" for i in range(n)]
+    clauses = []
+    if aliases and draw(st.booleans()):
+        alias = draw(st.sampled_from(aliases))
+        op = draw(st.sampled_from([">", "<", ">=", "<="]))
+        clauses.append(f"{alias}.value {op} {draw(st.integers(10, 90))}")
+    if len(aliases) >= 2 and draw(st.booleans()):
+        clauses.append(f"{aliases[0]}.id = {aliases[1]}.id")
+    where = f"WHERE {' AND '.join(clauses)} " if clauses else ""
+    window = draw(st.integers(min_value=3, max_value=8))
+    return f"PATTERN {structure} {where}WITHIN {window} MINUTES SLIDE 1 MINUTE"
+
+
+class TestCatalogLintsClean:
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_catalog_pattern_has_zero_errors(self, name):
+        pattern = CATALOG[name]()
+        options = recommend_options(pattern).options
+        query = translate(pattern, empty_sources(pattern), options)
+        report = query.analysis
+        assert report is not None
+        assert report.errors == (), report.render()
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_catalog_pattern_is_clean_under_default_options(self, name):
+        pattern = CATALOG[name]()
+        query = translate(pattern, empty_sources(pattern))
+        assert query.analysis.errors == (), query.analysis.render()
+
+
+class TestGeneratedPatternsLintClean:
+    @settings(max_examples=40, deadline=None)
+    @given(text=valid_pattern_text())
+    def test_no_false_positive_errors(self, text):
+        pattern = parse_pattern(text)
+        for options in (
+            TranslationOptions.fasp(),
+            TranslationOptions.o1(),
+            TranslationOptions.o2(),
+        ):
+            query = translate(pattern, empty_sources(pattern), options)
+            report = analyze_query(query)
+            assert report.errors == (), (text, options.label(), report.render())

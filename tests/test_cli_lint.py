@@ -1,0 +1,71 @@
+"""CLI coverage for ``repro lint`` (the CI `lint-plans` entry point)."""
+
+import json
+
+from repro.cli import main
+
+BAD_REF = "PATTERN SEQ(Q a, V b) WHERE a.bogus = b.id WITHIN 15 MINUTES"
+KEYED = "PATTERN SEQ(Q a, V b) WHERE a.id = b.id WITHIN 10 MINUTES"
+UNKEYED = "PATTERN SEQ(Q a, V b) WITHIN 10 MINUTES"
+
+
+class TestLintCli:
+    def test_catalog_lints_clean(self, capsys):
+        rc = main(["lint", "--catalog"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out and "OK" in out
+
+    def test_single_pattern_ok(self, capsys):
+        rc = main(["lint", "-p", KEYED])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "linted 1 plan(s)" in out
+
+    def test_open_schema_warning_passes_unless_strict(self, capsys):
+        rc = main(["lint", "-p", BAD_REF])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "RA101" in out  # surfaced as a warning
+
+    def test_strict_promotes_warnings_to_failure(self, capsys):
+        rc = main(["lint", "--strict", "-p", BAD_REF])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RA101" in out and "FAIL" in out
+
+    def test_sharded_proof_fails_without_keys(self, capsys):
+        rc = main(["lint", "--sharded", "-p", UNKEYED])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RA401" in out or "RA403" in out
+
+    def test_sharded_proof_passes_with_o3(self, capsys):
+        rc = main(["lint", "--sharded", "--o3", "id", "-p", KEYED])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        rc = main(["lint", "--json", "-p", BAD_REF])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert isinstance(payload, list) and len(payload) == 1
+        codes = [d["code"] for d in payload[0]["diagnostics"]]
+        assert "RA101" in codes
+
+    def test_stream_data_closes_the_schema(self, tmp_path, capsys):
+        rc = main(["generate", "--out", str(tmp_path), "--segments", "1",
+                   "--minutes", "30"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "lint", "-p", BAD_REF,
+            "--stream", f"Q={tmp_path}/Q.csv",
+            "--stream", f"V={tmp_path}/V.csv",
+        ])
+        out = capsys.readouterr().out
+        # with real data the inferred schema is closed: warning becomes error
+        assert rc == 1
+        assert "error[RA101]" in out

@@ -303,7 +303,9 @@ class TestShardedRollup:
         pattern = parse_pattern(KEYED)
         query = translate(pattern, _sources(_events()), TranslationOptions.o3())
         result = query.execute(backend=ShardedBackend(shards=2, mode="inline"))
-        assert set(result.metrics) == {"operators", "shards"}
+        # "analysis" is the static pre-flight summary translate() attaches.
+        assert set(result.metrics) == {"operators", "shards", "analysis"}
+        assert result.metrics["analysis"]["ok"] is True
         tree = result.metrics["operators"]
         scope = next(iter(tree))
         assert tree[scope]["events_in"]["type"] == "counter"
