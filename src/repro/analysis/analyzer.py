@@ -19,6 +19,7 @@ from repro.analysis.partition import (
 )
 from repro.analysis.patterncheck import pattern_diagnostics
 from repro.analysis.purity import flow_purity_diagnostics, plan_purity_diagnostics
+from repro.analysis.recovery import flow_recovery_diagnostics
 from repro.analysis.schema import schema_diagnostics
 from repro.analysis.state import flow_state_diagnostics, plan_state_diagnostics
 from repro.analysis.structure import structural_diagnostics
@@ -73,6 +74,7 @@ def analyze(
         diags.extend(flow_time_diagnostics(flow, max_out_of_orderness))
         diags.extend(flow_state_diagnostics(flow))
         diags.extend(flow_purity_diagnostics(flow))
+        diags.extend(flow_recovery_diagnostics(flow))
         if prove_shardable:
             diags.extend(shardability_diagnostics(flow))
     if not target:

@@ -18,6 +18,7 @@ RA2xx  time & watermarks (degenerate windows, Theorem 2, lateness)
 RA3xx  state boundedness (the O2 motivation, checked statically)
 RA4xx  partition safety (the O3 proof, replacing "trust the flag")
 RA5xx  UDF purity (nondeterminism, I/O, closed-over mutable state)
+RA6xx  recoverability (the checkpoint/recovery snapshot protocol)
 ====== =========================================================
 """
 
@@ -74,6 +75,9 @@ CODES: dict[str, str] = {
     "RA502": "UDF performs I/O",
     "RA503": "UDF mutates closed-over or global state",
     "RA504": "UDF source unavailable; purity cannot be proven",
+    # recoverability
+    "RA601": "stateful operator implements no snapshot/restore protocol",
+    "RA602": "stateful operator implements only half the snapshot protocol",
 }
 
 

@@ -1,0 +1,63 @@
+"""Recoverability pass (RA6xx): can this dataflow be checkpointed?
+
+Checkpoint/recovery (:mod:`repro.asp.runtime.fault`) snapshots every
+stateful operator at consistent between-event cuts. That only restores a
+job faithfully if each stateful operator actually implements the
+snapshot protocol — the base-class default snapshots nothing, which
+silently degrades recovery to "replay from offset with amnesia". This
+pass makes that gap a static error instead of a wrong answer after a
+crash:
+
+* RA601 — a stateful operator overrides neither ``snapshot_state`` nor
+  ``restore_state``: its state is lost on recovery;
+* RA602 — an operator overrides only one of the pair: snapshots it
+  takes can never be restored (or vice versa), which is always a bug in
+  the operator implementation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, error
+from repro.asp.operators.base import Operator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.asp.graph import Dataflow
+
+
+def _overrides(operator: Operator, method: str) -> bool:
+    return getattr(type(operator), method) is not getattr(Operator, method)
+
+
+def flow_recovery_diagnostics(flow: "Dataflow") -> list[Diagnostic]:
+    """RA601/RA602: stateful operators outside the snapshot protocol."""
+    out: list[Diagnostic] = []
+    for node in flow.operator_nodes():
+        operator = node.operator
+        if not operator.is_stateful:
+            continue
+        owns_snapshot = _overrides(operator, "snapshot_state")
+        owns_restore = _overrides(operator, "restore_state")
+        if not owns_snapshot and not owns_restore:
+            out.append(
+                error(
+                    "RA601",
+                    f"stateful operator '{node.name}' ({operator.kind}) "
+                    "implements neither snapshot_state nor restore_state; "
+                    "its state is silently lost on checkpoint recovery",
+                    node.name,
+                )
+            )
+        elif owns_snapshot is not owns_restore:
+            missing = "restore_state" if owns_snapshot else "snapshot_state"
+            out.append(
+                error(
+                    "RA602",
+                    f"stateful operator '{node.name}' ({operator.kind}) "
+                    f"implements only half of the snapshot protocol "
+                    f"({missing} is missing)",
+                    node.name,
+                )
+            )
+    return out

@@ -98,12 +98,39 @@ class WindowAggregate(StatefulOperator):
 
     def setup(self, registry) -> None:
         super().setup(registry)
-        self._handle = self.create_state("window-buffer")
+        self._handle = self._ensure_handle()
 
     def _ensure_handle(self):
         if self._handle is None:
             self._handle = self.create_state("window-buffer")
         return self._handle
+
+    def snapshot_state(self) -> dict[str, Any]:
+        snap = super().snapshot_state()
+        snap.update(
+            by_key={
+                key: (list(ts_list), list(values))
+                for key, (ts_list, values) in self._by_key.items()
+            },
+            next_window_index=self._next_window_index,
+            windows_fired_flag=self._windows_fired,
+            windows_fired=self.windows_fired,
+        )
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self._by_key = {
+            key: (list(ts_list), list(values))
+            for key, (ts_list, values) in snapshot["by_key"].items()
+        }
+        self._next_window_index = snapshot["next_window_index"]
+        self._windows_fired = snapshot["windows_fired_flag"]
+        self.windows_fired = snapshot["windows_fired"]
+        handle = self._ensure_handle()
+        handle.reset()
+        entries = sum(len(ts_list) for ts_list, _values in self._by_key.values())
+        handle.adjust(96 * entries, entries)
 
     def process(self, item: Item, port: int = 0) -> Iterable[Item]:
         self.work_units += 1
@@ -223,6 +250,15 @@ class SortedWindowUdfAggregate(WindowAggregate):
         )
         self.udf = udf
         self._pending: list[Event] = []
+
+    def snapshot_state(self) -> dict[str, Any]:
+        snap = super().snapshot_state()
+        snap["pending"] = list(self._pending)
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self._pending = list(snapshot["pending"])
 
     def on_watermark(self, watermark: Watermark) -> Iterable[Item]:
         # Reuse the parent's window machinery; _emit captures the UDF

@@ -16,7 +16,7 @@ watermark evicts older keys.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.asp.datamodel import ComplexEvent
 from repro.asp.operators.base import Item, StatefulOperator
@@ -56,12 +56,28 @@ class DedupOperator(StatefulOperator):
 
     def setup(self, registry) -> None:
         super().setup(registry)
-        self._handle = self.create_state("seen-keys")
+        self._handle = self._ensure_handle()
 
     def _ensure_handle(self):
         if self._handle is None:
             self._handle = self.create_state("seen-keys")
         return self._handle
+
+    def snapshot_state(self) -> dict[str, Any]:
+        snap = super().snapshot_state()
+        # OrderedDict insertion order is the eviction order — preserve it
+        # as an explicit pair list.
+        snap["seen"] = list(self._seen.items())
+        snap["duplicates_dropped"] = self.duplicates_dropped
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self._seen = OrderedDict(snapshot["seen"])
+        self.duplicates_dropped = snapshot["duplicates_dropped"]
+        handle = self._ensure_handle()
+        handle.reset()
+        handle.adjust(_KEY_BYTES * len(self._seen), len(self._seen))
 
     def _key_of(self, item: Item) -> tuple:
         if isinstance(item, ComplexEvent):

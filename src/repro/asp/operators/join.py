@@ -124,6 +124,30 @@ class _SideBuffer:
     def total_items(self) -> int:
         return sum(len(items) for _ts, items in self.by_key.values())
 
+    # -- fault tolerance ---------------------------------------------------
+
+    def snapshot(self) -> dict[Any, tuple[list[int], list[Item]]]:
+        """Copy of the buffer content (containers copied, items shared)."""
+        return {
+            key: (list(ts_list), list(items))
+            for key, (ts_list, items) in self.by_key.items()
+        }
+
+    def restore(self, data: dict[Any, tuple[list[int], list[Item]]]) -> None:
+        """Replace the buffer and re-account the handle from the content."""
+        self.by_key = {
+            key: (list(ts_list), list(items))
+            for key, (ts_list, items) in data.items()
+        }
+        self.handle.reset()
+        total_bytes = 0
+        total_items = 0
+        for _ts_list, items in self.by_key.values():
+            total_bytes += sum(item_size_bytes(item) for item in items)
+            total_items += len(items)
+        if total_items:
+            self.handle.adjust(total_bytes, total_items)
+
 
 class SlidingWindowJoin(StatefulOperator):
     """Join both sides within every complete sliding window (Eq. 4/5)."""
@@ -175,6 +199,29 @@ class SlidingWindowJoin(StatefulOperator):
         if self._left is None:
             self._left = _SideBuffer(self.create_state("left-buffer"))
             self._right = _SideBuffer(self.create_state("right-buffer"))
+
+    def snapshot_state(self) -> dict[str, Any]:
+        self._ensure_buffers()
+        snap = super().snapshot_state()
+        snap.update(
+            left=self._left.snapshot(),
+            right=self._right.snapshot(),
+            next_window_index=self._next_window_index,
+            windows_fired=self._windows_fired,
+            pairs_tested=self.pairs_tested,
+            pairs_emitted=self.pairs_emitted,
+        )
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self._ensure_buffers()
+        self._left.restore(snapshot["left"])
+        self._right.restore(snapshot["right"])
+        self._next_window_index = snapshot["next_window_index"]
+        self._windows_fired = snapshot["windows_fired"]
+        self.pairs_tested = snapshot["pairs_tested"]
+        self.pairs_emitted = snapshot["pairs_emitted"]
 
     def process(self, item: Item, port: int = 0) -> Iterable[Item]:
         self._ensure_buffers()
@@ -341,6 +388,25 @@ class IntervalJoin(StatefulOperator):
         if self._left is None:
             self._left = _SideBuffer(self.create_state("left-buffer"))
             self._right = _SideBuffer(self.create_state("right-buffer"))
+
+    def snapshot_state(self) -> dict[str, Any]:
+        self._ensure_buffers()
+        snap = super().snapshot_state()
+        snap.update(
+            left=self._left.snapshot(),
+            right=self._right.snapshot(),
+            pairs_tested=self.pairs_tested,
+            pairs_emitted=self.pairs_emitted,
+        )
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self._ensure_buffers()
+        self._left.restore(snapshot["left"])
+        self._right.restore(snapshot["right"])
+        self.pairs_tested = snapshot["pairs_tested"]
+        self.pairs_emitted = snapshot["pairs_emitted"]
 
     def watermark_delay(self) -> int:
         # Eagerly emitted pairs can be up to max(upper, -lower) behind the

@@ -101,6 +101,28 @@ class MultiWayWindowJoin(StatefulOperator):
                 for port in range(self.arity)
             ]
 
+    def snapshot_state(self) -> dict[str, Any]:
+        self._ensure_buffers()
+        snap = super().snapshot_state()
+        snap.update(
+            buffers=[buf.snapshot() for buf in self._buffers],
+            next_window_index=self._next_window_index,
+            windows_fired=self._windows_fired,
+            tuples_tested=self.tuples_tested,
+            tuples_emitted=self.tuples_emitted,
+        )
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self._ensure_buffers()
+        for buf, data in zip(self._buffers, snapshot["buffers"]):
+            buf.restore(data)
+        self._next_window_index = snapshot["next_window_index"]
+        self._windows_fired = snapshot["windows_fired"]
+        self.tuples_tested = snapshot["tuples_tested"]
+        self.tuples_emitted = snapshot["tuples_emitted"]
+
     def watermark_delay(self) -> int:
         return self.window.size
 

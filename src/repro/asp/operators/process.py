@@ -19,7 +19,7 @@ query avoid FlinkCEP's retrospective negation handling (Section 5.2.1).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.asp.datamodel import Event
 from repro.asp.operators.base import Item, StatefulOperator, item_size_bytes
@@ -69,12 +69,33 @@ class NextOccurrenceUdf(StatefulOperator):
 
     def setup(self, registry) -> None:
         super().setup(registry)
-        self._handle = self.create_state("pending-T1")
+        self._handle = self._ensure_handle()
 
     def _ensure_handle(self):
         if self._handle is None:
             self._handle = self.create_state("pending-T1")
         return self._handle
+
+    def snapshot_state(self) -> dict[str, Any]:
+        snap = super().snapshot_state()
+        snap.update(
+            pending=list(self._pending),
+            resolved_by_blocker=self.resolved_by_blocker,
+            resolved_by_timeout=self.resolved_by_timeout,
+        )
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self._pending = list(snapshot["pending"])
+        self.resolved_by_blocker = snapshot["resolved_by_blocker"]
+        self.resolved_by_timeout = snapshot["resolved_by_timeout"]
+        handle = self._ensure_handle()
+        handle.reset()
+        if self._pending:
+            handle.adjust(
+                sum(item_size_bytes(e) for e in self._pending), len(self._pending)
+            )
 
     def watermark_delay(self) -> int:
         # A pending T1 event is held until its window elapses.

@@ -9,7 +9,7 @@ event (creation) time contributing to it (Section 5.1.3).
 from __future__ import annotations
 
 import time as _time
-from typing import Callable, Iterable, List
+from typing import Any, Callable, Iterable, List
 
 from repro.asp.datamodel import ComplexEvent
 from repro.asp.operators.base import Item, Operator
@@ -37,6 +37,18 @@ class Sink(Operator):
         metrics["items_accepted"] = self.count
         return metrics
 
+    def snapshot_state(self) -> dict[str, Any]:
+        # Sinks are part of the checkpoint so a recovered run does not
+        # double-emit: replay resumes with the exact sink content the
+        # checkpoint observed (effectively-once output).
+        snap = super().snapshot_state()
+        snap["count"] = self.count
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self.count = snapshot["count"]
+
 
 class DiscardSink(Sink):
     """Count-only sink for throughput runs (no retention)."""
@@ -54,6 +66,15 @@ class CollectSink(Sink):
 
     def accept(self, item: Item) -> None:
         self.items.append(item)
+
+    def snapshot_state(self) -> dict[str, Any]:
+        snap = super().snapshot_state()
+        snap["items"] = list(self.items)
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self.items = list(snapshot["items"])
 
     def matches(self) -> list[ComplexEvent]:
         return [i for i in self.items if isinstance(i, ComplexEvent)]
@@ -87,9 +108,24 @@ class LatencySink(Sink):
     def __init__(self, name: str | None = None):
         super().__init__(name or "latency-sink")
         self.latencies_s: list[float] = []
+        self._wall_clock: Callable[[], float] | None = None
+
+    def set_wall_clock(self, clock: Callable[[], float]) -> None:
+        """Read wall time from the job's shared clock instead of the raw
+        counter, so injected slow-operator delays appear in latencies."""
+        self._wall_clock = clock
+
+    def snapshot_state(self) -> dict[str, Any]:
+        snap = super().snapshot_state()
+        snap["latencies_s"] = list(self.latencies_s)
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self.latencies_s = list(snapshot["latencies_s"])
 
     def accept(self, item: Item) -> None:
-        now = _time.perf_counter()
+        now = self._wall_clock() if self._wall_clock is not None else _time.perf_counter()
         if isinstance(item, ComplexEvent):
             created = max(
                 (e.attrs or {}).get("created_wall", now) for e in item.events
@@ -131,6 +167,15 @@ class EventTimeLatencySink(Sink):
 
     def set_event_clock(self, clock: Callable[[], int]) -> None:
         self._event_clock = clock
+
+    def snapshot_state(self) -> dict[str, Any]:
+        snap = super().snapshot_state()
+        snap["lags_ms"] = list(self.lags_ms)
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self.lags_ms = list(snapshot["lags_ms"])
 
     def accept(self, item: Item) -> None:
         if self._event_clock is None:

@@ -18,7 +18,9 @@ model):
   behind the :class:`~repro.asp.runtime.backends.base.ExecutionBackend`
   protocol: :class:`SerialBackend` (the depth-first reference) and
   :class:`ShardedBackend` (key-partitioned parallel execution over a
-  process pool — optimization O3 made physical).
+  process pool — optimization O3 made physical);
+* :mod:`~repro.asp.runtime.fault` — checkpoint/recovery and the seeded
+  fault-injection (chaos) harness (what keeps a job alive).
 """
 
 from repro.asp.runtime.backends import (
@@ -30,6 +32,17 @@ from repro.asp.runtime.backends import (
     resolve_backend,
 )
 from repro.asp.runtime.channels import Channel, build_channels
+from repro.asp.runtime.clock import RuntimeClock
+from repro.asp.runtime.fault import (
+    CheckpointCoordinator,
+    DirectoryCheckpointStore,
+    FaultPlan,
+    FaultSpec,
+    InMemoryCheckpointStore,
+    RecoveryReport,
+    parse_fault_plan,
+    run_with_recovery,
+)
 from repro.asp.runtime.instrumentation import Instrumentation, SampleHook
 from repro.asp.runtime.observability import (
     Counter,
@@ -48,21 +61,30 @@ from repro.asp.runtime.scheduler import WatermarkService, merge_sources
 
 __all__ = [
     "Channel",
+    "CheckpointCoordinator",
     "Counter",
     "DEFAULT_SAMPLE_EVERY",
+    "DirectoryCheckpointStore",
     "ExecutionBackend",
     "ExecutionSettings",
+    "FaultPlan",
+    "FaultSpec",
     "Gauge",
     "Histogram",
+    "InMemoryCheckpointStore",
     "Instrumentation",
     "MetricsRegistry",
     "OperatorMetrics",
+    "RecoveryReport",
     "RunResult",
+    "RuntimeClock",
     "SampleHook",
     "SerialBackend",
     "ShardedBackend",
     "WatermarkService",
     "build_channels",
+    "parse_fault_plan",
+    "run_with_recovery",
     "load_report",
     "merge_metric_trees",
     "merge_shard_results",

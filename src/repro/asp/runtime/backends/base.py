@@ -32,11 +32,27 @@ class ExecutionSettings:
     max_out_of_orderness: int = 0
     sample_every: int = DEFAULT_SAMPLE_EVERY
     on_sample: Callable[[dict[str, Any]], None] | None = None
+    #: Checkpoint every N source events (None disables checkpointing).
+    checkpoint_interval: int | None = None
+    #: Where checkpoints go (``repro.asp.runtime.fault.CheckpointStore``);
+    #: None selects a fresh in-memory store per run.
+    checkpoint_store: Any = None
+    #: Deterministic faults to inject (``repro.asp.runtime.fault.FaultPlan``).
+    fault_plan: Any = None
+    #: How many times a crashed run is restarted from its checkpoint.
+    max_restarts: int = 3
+    #: Real-time pause between restart attempts (0 keeps tests fast).
+    restart_backoff_s: float = 0.0
 
     def without_hooks(self) -> "ExecutionSettings":
         """A copy safe to ship to another process (callables stripped;
         samples still come back inside the shard's RunResult)."""
         return replace(self, on_sample=None)
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """Whether this run must route through the recovery loop."""
+        return self.fault_plan is not None or self.checkpoint_interval is not None
 
 
 @runtime_checkable

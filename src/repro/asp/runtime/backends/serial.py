@@ -10,22 +10,35 @@ fires its complete windows *before* a downstream join finalizes the same
 watermark — this is what makes nested SEQ(n) pipelines correct. The
 sharded backend runs one serial job per shard, so this module is the
 correctness reference for every backend.
+
+Fault tolerance hooks: between two source events the push graph is fully
+drained, so that point is a consistent cut — the
+:class:`~repro.asp.runtime.fault.checkpoint.CheckpointCoordinator`
+snapshots there, and a :class:`~repro.asp.runtime.fault.injection
+.FaultInjector` crashes there (plus virtual slow-operator delays and
+severed channels on the data path). ``start_offset`` replays the merged
+source stream from a checkpointed position.
 """
 
 from __future__ import annotations
 
-import time as _time
+from typing import TYPE_CHECKING
 
 from repro.asp.graph import Dataflow
 from repro.asp.runtime.backends.base import ExecutionSettings
 from repro.asp.runtime.channels import Channel, build_channels, channel_totals
+from repro.asp.runtime.clock import RuntimeClock
 from repro.asp.runtime.instrumentation import Instrumentation
 from repro.asp.runtime.observability import LATENCY_SAMPLE_MASK
 from repro.asp.runtime.result import RunResult
 from repro.asp.runtime.scheduler import WatermarkService, merge_sources
 from repro.asp.state import StateRegistry
 from repro.asp.time import Watermark
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, InjectedFaultError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.asp.runtime.fault.checkpoint import CheckpointCoordinator
+    from repro.asp.runtime.fault.injection import FaultInjector
 
 
 class SerialJob:
@@ -37,10 +50,19 @@ class SerialJob:
     this object's attributes for backwards compatibility.
     """
 
-    def __init__(self, flow: Dataflow, settings: ExecutionSettings):
+    def __init__(
+        self,
+        flow: Dataflow,
+        settings: ExecutionSettings,
+        *,
+        injector: "FaultInjector | None" = None,
+        coordinator: "CheckpointCoordinator | None" = None,
+        clock: RuntimeClock | None = None,
+    ):
         flow.validate()
         self.flow = flow
         self.settings = settings
+        self.clock = clock or RuntimeClock()
         self.registry = StateRegistry(budget_bytes=settings.memory_budget_bytes)
         self.watermarks = WatermarkService(
             flow,
@@ -52,18 +74,32 @@ class SerialJob:
             self.registry,
             sample_every=settings.sample_every,
             on_sample=settings.on_sample,
+            clock=self.clock,
         )
         self.channels: dict[int, list[Channel]] = build_channels(flow)
         for node in flow.operator_nodes():
             node.operator.setup(self.registry)
             if hasattr(node.operator, "set_event_clock"):
                 node.operator.set_event_clock(self.watermarks.current_max_ts)
+            if hasattr(node.operator, "set_wall_clock"):
+                node.operator.set_wall_clock(self.clock.now)
+        self.injector = injector
+        self.coordinator = coordinator
+        self._node_delays: dict[int, float] = (
+            injector.node_delays(flow) if injector is not None else {}
+        )
+        self._dropped: set[tuple[int, int]] = (
+            injector.dropped_edges(flow) if injector is not None else set()
+        )
+        #: Source events with a merged-stream index <= start_offset are
+        #: skipped (already consumed by the restored checkpoint).
+        self.start_offset = 0
         self.events_in = 0
         self.items_out = 0
 
     # -- data propagation --------------------------------------------------
 
-    def _push(self, node_id: int, item, port: int) -> None:
+    def _push(self, node_id: int, item, port: int, from_id: int) -> None:
         """Deliver ``item`` to operator ``node_id`` and walk downstream.
 
         Linear one-in/one-out segments (filter -> map -> ... chains) are
@@ -72,14 +108,24 @@ class SerialJob:
         overhead without changing delivery order or per-stage accounting.
         Fan-out and multi-output steps fall back to recursion.
         """
+        if self._dropped and (from_id, node_id) in self._dropped:
+            return
         nodes = self.flow.nodes
         op_metrics = self.instrumentation.op_metrics
         channels = self.channels
+        clock = self.clock
+        delays = self._node_delays
         while True:
             node = nodes[node_id]
-            start = _time.perf_counter()
+            start = clock.now()
             outputs = node.operator.process(item, port)
-            elapsed = _time.perf_counter() - start
+            if delays:
+                delay = delays.get(node_id)
+                if delay:
+                    # Simulated stall: advances the shared clock, so the
+                    # slowdown shows in samples/latencies without sleeping.
+                    clock.advance(delay)
+            elapsed = clock.now() - start
             metrics = op_metrics[node_id]
             metrics.busy += elapsed
             metrics.events_in += 1
@@ -94,20 +140,22 @@ class SerialJob:
                 return
             if len(outputs) == 1 and len(outs) == 1:
                 channel = outs[0]
+                if self._dropped and (node_id, channel.target_id) in self._dropped:
+                    return
                 channel.frame_items(1)
                 item = outputs[0]
-                node_id, port = channel.target_id, channel.port
+                from_id, node_id, port = node_id, channel.target_id, channel.port
                 continue
             for channel in outs:
                 channel.frame_items(len(outputs))
                 for out in outputs:
-                    self._push(channel.target_id, out, channel.port)
+                    self._push(channel.target_id, out, channel.port, node_id)
             return
 
     def _inject(self, source_node_id: int, event) -> None:
         for channel in self.channels[source_node_id]:
             channel.frame_items(1)
-            self._push(channel.target_id, event, channel.port)
+            self._push(channel.target_id, event, channel.port, source_node_id)
 
     def _broadcast_watermark(self, watermark: Watermark) -> None:
         """Advance event time on all operators in topological order.
@@ -117,16 +165,17 @@ class SerialJob:
         own ``on_watermark`` call later in the same topological sweep.
         """
         op_metrics = self.instrumentation.op_metrics
+        clock = self.clock
         for node in self.watermarks.topo:
             if node.is_source:
                 for channel in self.channels[node.node_id]:
                     channel.frame_watermark()
                 continue
             local = self.watermarks.localize(node.node_id, watermark)
-            start = _time.perf_counter()
+            start = clock.now()
             outputs = node.operator.on_watermark(local)
             metrics = op_metrics[node.node_id]
-            metrics.busy += _time.perf_counter() - start
+            metrics.busy += clock.now() - start
             metrics.watermark_calls += 1
             outs = self.channels[node.node_id]
             for channel in outs:
@@ -141,33 +190,50 @@ class SerialJob:
             for out in outputs:
                 for channel in outs:
                     channel.frame_items(1)
-                    self._push(channel.target_id, out, channel.port)
+                    self._push(channel.target_id, out, channel.port, node.node_id)
 
     # -- run loop ----------------------------------------------------------
 
     def run(self) -> RunResult:
         instr = self.instrumentation
+        injector = self.injector
+        coordinator = self.coordinator
         started = instr.start_run()
         failed = False
         failure: str | None = None
+        if self.start_offset:
+            self.events_in = self.start_offset
         try:
-            for self.events_in, (node_id, event) in enumerate(
-                merge_sources(self.flow), start=1
-            ):
+            for index, (node_id, event) in enumerate(merge_sources(self.flow), start=1):
+                if index <= self.start_offset:
+                    # Replay: the checkpoint already consumed this prefix.
+                    continue
+                self.events_in = index
+                if injector is not None:
+                    injector.before_event(index)
                 self._inject(node_id, event)
                 watermark = self.watermarks.observe(event.ts)
                 if watermark is not None:
                     self._broadcast_watermark(watermark)
-                instr.after_event(self.events_in, watermark is not None)
+                instr.after_event(index, watermark is not None)
+                if coordinator is not None and coordinator.due(index):
+                    coordinator.take(self)
             self._broadcast_watermark(Watermark.terminal())
             # Records the closing sample too, so short runs (fewer events
             # than sample_every) still yield a Figure-5 data point.
             instr.finish(self.events_in)
+        except InjectedFaultError:
+            # Simulated process crash — the recovery loop owns it.
+            raise
         except ExecutionError as exc:
             failed = True
             failure = str(exc)
             instr.take_sample(self.events_in)  # capture the failure point
-        wall = _time.perf_counter() - started
+        wall = self.clock.now() - started
+        return self._build_result(wall, failed, failure)
+
+    def _build_result(self, wall: float, failed: bool, failure: str | None) -> RunResult:
+        instr = self.instrumentation
         return RunResult(
             job_name=self.flow.name,
             events_in=self.events_in,
@@ -183,6 +249,12 @@ class SerialJob:
             metadata={"backend": "serial", "channels": channel_totals(self.channels)},
         )
 
+    def to_failed_result(self, failure: str) -> RunResult:
+        """A failed :class:`RunResult` for a crash the recovery loop gave
+        up on (restart budget exhausted)."""
+        wall = self.clock.now() - self.instrumentation._started
+        return self._build_result(wall, True, failure)
+
 
 class SerialBackend:
     """Today's chained depth-first semantics — the correctness reference."""
@@ -190,4 +262,8 @@ class SerialBackend:
     name = "serial"
 
     def execute(self, flow: Dataflow, settings: ExecutionSettings) -> RunResult:
+        if settings.fault_tolerant:
+            from repro.asp.runtime.fault.recovery import run_with_recovery
+
+            return run_with_recovery(flow, settings)
         return SerialJob(flow, settings).run()

@@ -39,6 +39,8 @@ import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
+from dataclasses import replace
+
 from repro.asp.graph import Dataflow, extract_shards
 from repro.asp.operators.keyby import key_by_attribute
 from repro.asp.operators.sink import (
@@ -61,8 +63,26 @@ except ImportError:  # pragma: no cover - present in the reference env
 SinkPayload = tuple[int, list | None, list | None, list | None]
 
 
-def _run_shard(flow: Dataflow, settings: ExecutionSettings):
-    result = SerialJob(flow, settings).run()
+def _shard_settings(settings: ExecutionSettings, shard_index: int) -> ExecutionSettings:
+    """The settings one shard runs under: its slice of the fault plan and
+    its own checkpoint namespace."""
+    plan = settings.fault_plan
+    if plan is not None:
+        plan = plan.for_shard(shard_index)
+    store = settings.checkpoint_store
+    if store is not None:
+        store = store.scoped(f"shard-{shard_index}")
+    return replace(settings, fault_plan=plan, checkpoint_store=store)
+
+
+def _run_shard(flow: Dataflow, settings: ExecutionSettings, shard_index: int = 0):
+    settings = _shard_settings(settings, shard_index)
+    if settings.fault_tolerant:
+        from repro.asp.runtime.fault.recovery import run_with_recovery
+
+        result = run_with_recovery(flow, settings)
+    else:
+        result = SerialJob(flow, settings).run()
     payloads: dict[int, SinkPayload] = {}
     for node in flow.sink_nodes():
         operator = node.operator
@@ -79,8 +99,8 @@ def _run_shard(flow: Dataflow, settings: ExecutionSettings):
 
 def _run_shard_blob(blob: bytes):
     """Process-pool entry point: the shard flow arrives cloudpickled."""
-    flow, settings = cloudpickle.loads(blob)
-    return _run_shard(flow, settings)
+    flow, settings, shard_index = cloudpickle.loads(blob)
+    return _run_shard(flow, settings, shard_index)
 
 
 class ShardedBackend:
@@ -168,13 +188,19 @@ class ShardedBackend:
                 # Containers without fork/spawn rights: degrade, still
                 # measured per shard.
                 pass
-        return [_run_shard(flow, settings) for flow in shard_flows], "inline"
+        return [
+            _run_shard(flow, settings, index)
+            for index, flow in enumerate(shard_flows)
+        ], "inline"
 
     def _run_in_pool(
         self, shard_flows: list[Dataflow], settings: ExecutionSettings
     ) -> list[tuple[RunResult, dict[int, SinkPayload]]]:
         shipped = settings.without_hooks()
-        blobs = [cloudpickle.dumps((flow, shipped)) for flow in shard_flows]
+        blobs = [
+            cloudpickle.dumps((flow, shipped, index))
+            for index, flow in enumerate(shard_flows)
+        ]
         workers = self.max_workers or min(len(blobs), os.cpu_count() or 1)
         with ProcessPoolExecutor(max_workers=max(1, workers)) as pool:
             futures = [pool.submit(_run_shard_blob, blob) for blob in blobs]

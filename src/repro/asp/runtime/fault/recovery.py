@@ -1,0 +1,127 @@
+"""Restart-from-checkpoint — the recovery loop around the serial job.
+
+On an :class:`~repro.errors.InjectedFaultError` (or a real crash that
+surfaces as one) the loop builds a *fresh* :class:`SerialJob` over the
+same flow, restores the latest checkpoint into it — operator state,
+watermark progress and the source offset — and replays the merged source
+stream from that offset. :func:`~repro.asp.runtime.scheduler
+.merge_sources` is deterministic (ties broken by source order), so
+skipping the first ``offset`` pairs reproduces exactly the prefix the
+checkpoint already consumed; sinks are part of the snapshot, so nothing
+is double-emitted (effectively-once output).
+
+Attempt 1 always takes checkpoint 0 before any event flows — recovery is
+possible even when the crash precedes the first cadence checkpoint.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.asp.graph import Dataflow
+from repro.asp.runtime.backends.base import ExecutionSettings
+from repro.asp.runtime.fault.checkpoint import CheckpointCoordinator
+from repro.asp.runtime.fault.injection import FaultInjector, FaultPlan
+from repro.asp.runtime.fault.store import InMemoryCheckpointStore
+from repro.asp.runtime.result import RunResult
+from repro.errors import InjectedFaultError
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """One masked crash: where it hit and where replay resumed."""
+
+    attempt: int
+    failed_at_event: int | None
+    resumed_from_offset: int
+    replayed_events: int
+    backoff_s: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "failed_at_event": self.failed_at_event,
+            "resumed_from_offset": self.resumed_from_offset,
+            "replayed_events": self.replayed_events,
+            "backoff_s": self.backoff_s,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Structured outcome of a fault-tolerant execution."""
+
+    attempts: int = 0
+    recovered: bool = False
+    restarts: list[RestartRecord] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "attempts": self.attempts,
+            "recovered": self.recovered,
+            "restarts": [r.as_dict() for r in self.restarts],
+        }
+
+
+def run_with_recovery(flow: Dataflow, settings: ExecutionSettings) -> RunResult:
+    """Execute ``flow`` serially with checkpointing and crash recovery.
+
+    The injector and the coordinator live across attempts: a crash spec
+    fires once (replay must not re-trigger it) and checkpoint overhead
+    accumulates over the whole run. Each attempt gets a fresh job object
+    — the crashed one's channels and instrumentation are abandoned, the
+    operator instances are rebuilt from the checkpoint.
+    """
+    from repro.asp.runtime.backends.serial import SerialJob
+
+    store = settings.checkpoint_store or InMemoryCheckpointStore()
+    plan = settings.fault_plan or FaultPlan()
+    injector = FaultInjector(plan)
+    coordinator = CheckpointCoordinator(store, settings.checkpoint_interval)
+    report = RecoveryReport()
+    max_attempts = settings.max_restarts + 1
+    while True:
+        report.attempts += 1
+        job = SerialJob(flow, settings, injector=injector, coordinator=coordinator)
+        if report.attempts == 1:
+            # Checkpoint 0: the pristine pre-stream state, so a crash
+            # before the first cadence checkpoint can still recover.
+            coordinator.take(job)
+        else:
+            latest = store.latest()
+            if latest is not None:
+                coordinator.restore_into(job, latest)
+                job.start_offset = latest.offset
+        try:
+            result = job.run()
+        except InjectedFaultError as exc:
+            if report.attempts >= max_attempts:
+                result = job.to_failed_result(str(exc))
+                _attach(result, report, coordinator)
+                return result
+            latest = store.latest()
+            resume_offset = latest.offset if latest is not None else 0
+            report.restarts.append(
+                RestartRecord(
+                    attempt=report.attempts,
+                    failed_at_event=exc.at_event,
+                    resumed_from_offset=resume_offset,
+                    replayed_events=max(0, (exc.at_event or 1) - 1 - resume_offset),
+                    backoff_s=settings.restart_backoff_s,
+                )
+            )
+            if settings.restart_backoff_s > 0:
+                _time.sleep(settings.restart_backoff_s)
+            continue
+        report.recovered = not result.failed and bool(report.restarts)
+        _attach(result, report, coordinator)
+        return result
+
+
+def _attach(
+    result: RunResult, report: RecoveryReport, coordinator: CheckpointCoordinator
+) -> None:
+    result.metrics["recovery"] = report.as_dict()
+    result.metrics["checkpoints"] = coordinator.metrics()

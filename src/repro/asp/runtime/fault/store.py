@@ -1,0 +1,163 @@
+"""Checkpoint persistence — where snapshots survive a crash.
+
+A :class:`Checkpoint` is an opaque pickled blob tagged with the source
+offset it was taken at; the store keeps the most recent ``retain`` of
+them. The in-memory store models Flink's job-manager-held snapshots
+(enough for the simulated crash/restart loop, which stays in one
+process); the directory store persists to disk with a JSON manifest so a
+checkpoint survives the *process* too, and so tests can inspect real
+files.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+
+class Checkpoint:
+    """One completed snapshot of a job: payload bytes + replay offset."""
+
+    __slots__ = ("checkpoint_id", "offset", "payload")
+
+    def __init__(self, checkpoint_id: int, offset: int, payload: bytes):
+        self.checkpoint_id = checkpoint_id
+        self.offset = offset
+        self.payload = payload
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"Checkpoint(id={self.checkpoint_id}, offset={self.offset}, "
+            f"{self.size_bytes} B)"
+        )
+
+
+@runtime_checkable
+class CheckpointStore(Protocol):
+    """Anything that can hold the recent checkpoints of one job."""
+
+    def save(self, checkpoint: Checkpoint) -> None: ...
+
+    def latest(self) -> Checkpoint | None: ...
+
+    def checkpoints(self) -> list[Checkpoint]: ...
+
+    def clear(self) -> None: ...
+
+    def scoped(self, label: str) -> "CheckpointStore": ...
+
+
+class InMemoryCheckpointStore:
+    """Checkpoints held in the driver process (the default)."""
+
+    def __init__(self, retain: int = 3):
+        if retain < 1:
+            raise ValueError("must retain at least one checkpoint")
+        self.retain = retain
+        self._checkpoints: list[Checkpoint] = []
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        self._checkpoints.append(checkpoint)
+        del self._checkpoints[: -self.retain]
+
+    def latest(self) -> Checkpoint | None:
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def checkpoints(self) -> list[Checkpoint]:
+        return list(self._checkpoints)
+
+    def clear(self) -> None:
+        self._checkpoints.clear()
+
+    def scoped(self, label: str) -> "InMemoryCheckpointStore":
+        """An independent namespace (one per shard of a sharded run)."""
+        del label  # in-memory stores need no shared key space
+        return InMemoryCheckpointStore(retain=self.retain)
+
+
+class DirectoryCheckpointStore:
+    """Checkpoints as files under a directory, with a JSON manifest.
+
+    Layout: ``<dir>/chk-<id>.pickle`` plus ``<dir>/manifest.json`` listing
+    ``[{"checkpoint_id", "offset", "file"}]`` newest-last. The manifest is
+    rewritten atomically-enough for this simulation (write then replace).
+    """
+
+    _MANIFEST = "manifest.json"
+
+    def __init__(self, path: str | Path, retain: int = 3):
+        if retain < 1:
+            raise ValueError("must retain at least one checkpoint")
+        self.path = Path(path)
+        self.retain = retain
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def _manifest_path(self) -> Path:
+        return self.path / self._MANIFEST
+
+    def _read_manifest(self) -> list[dict]:
+        manifest = self._manifest_path()
+        if not manifest.exists():
+            return []
+        return json.loads(manifest.read_text())
+
+    def _write_manifest(self, entries: list[dict]) -> None:
+        tmp = self._manifest_path().with_suffix(".tmp")
+        tmp.write_text(json.dumps(entries, indent=2))
+        tmp.replace(self._manifest_path())
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        name = f"chk-{checkpoint.checkpoint_id}.pickle"
+        (self.path / name).write_bytes(checkpoint.payload)
+        entries = self._read_manifest()
+        entries.append(
+            {
+                "checkpoint_id": checkpoint.checkpoint_id,
+                "offset": checkpoint.offset,
+                "file": name,
+            }
+        )
+        for stale in entries[: -self.retain]:
+            (self.path / stale["file"]).unlink(missing_ok=True)
+        self._write_manifest(entries[-self.retain :])
+
+    def latest(self) -> Checkpoint | None:
+        entries = self._read_manifest()
+        if not entries:
+            return None
+        entry = entries[-1]
+        payload = (self.path / entry["file"]).read_bytes()
+        return Checkpoint(entry["checkpoint_id"], entry["offset"], payload)
+
+    def checkpoints(self) -> list[Checkpoint]:
+        out = []
+        for entry in self._read_manifest():
+            payload = (self.path / entry["file"]).read_bytes()
+            out.append(Checkpoint(entry["checkpoint_id"], entry["offset"], payload))
+        return out
+
+    def clear(self) -> None:
+        for entry in self._read_manifest():
+            (self.path / entry["file"]).unlink(missing_ok=True)
+        self._manifest_path().unlink(missing_ok=True)
+
+    def scoped(self, label: str) -> "DirectoryCheckpointStore":
+        return DirectoryCheckpointStore(self.path / label, retain=self.retain)
+
+
+def pickle_payload(data: dict) -> bytes:
+    """Serialize a captured job state (isolation copy + size metric)."""
+    return pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpickle_payload(payload: bytes) -> dict:
+    out = pickle.loads(payload)
+    if not isinstance(out, dict):
+        raise TypeError(f"corrupt checkpoint payload: {type(out).__name__}")
+    return out

@@ -20,10 +20,10 @@ both pays for one check, not two.
 
 from __future__ import annotations
 
-import time as _time
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 from repro.asp.graph import Dataflow
+from repro.asp.runtime.clock import RuntimeClock
 from repro.asp.runtime.observability import OperatorMetrics, operator_metrics_tree
 from repro.asp.state import StateRegistry
 
@@ -48,9 +48,14 @@ class Instrumentation:
         *,
         sample_every: int = DEFAULT_SAMPLE_EVERY,
         on_sample: SampleHook | Callable[[dict[str, Any]], None] | None = None,
+        clock: RuntimeClock | None = None,
     ):
         self.flow = flow
         self.registry = registry
+        # All wall-clock reads of this run go through one clock, so
+        # virtually-injected delays (slow-operator faults) appear
+        # coherently in samples, busy time and latency percentiles.
+        self._clock = clock or RuntimeClock()
         self.sample_every = max(1, sample_every)
         self.on_sample = on_sample
         self.samples: list[dict[str, Any]] = []
@@ -63,16 +68,16 @@ class Instrumentation:
             for node in flow.operator_nodes()
         }
         self.budget_checks = 0
-        self._started = _time.perf_counter()
+        self._started = self._clock.now()
 
     # -- busy time -------------------------------------------------------
 
     def start_run(self) -> float:
-        self._started = _time.perf_counter()
+        self._started = self._clock.now()
         return self._started
 
     def clock(self) -> float:
-        return _time.perf_counter()
+        return self._clock.now()
 
     def record(self, node_id: int, seconds: float) -> None:
         self.op_metrics[node_id].busy += seconds
@@ -110,7 +115,7 @@ class Instrumentation:
 
     def take_sample(self, events_in: int) -> dict[str, Any]:
         sample = {
-            "wall_s": _time.perf_counter() - self._started,
+            "wall_s": self._clock.now() - self._started,
             "events_in": events_in,
             "state_bytes": self.registry.total_bytes(),
             "state_items": self.registry.total_items(),
@@ -135,7 +140,7 @@ class Instrumentation:
 
     def measure(self, node_id: int, call: Callable[[], Iterable[Any]]):
         """Run ``call`` and attribute its duration to ``node_id``."""
-        start = _time.perf_counter()
+        start = self._clock.now()
         out = call()
-        self.op_metrics[node_id].busy += _time.perf_counter() - start
+        self.op_metrics[node_id].busy += self._clock.now() - start
         return out

@@ -83,6 +83,13 @@ class WatermarkService:
         """Record an event timestamp; return a watermark when one is due."""
         return self.generator.observe(ts)
 
+    def snapshot(self) -> dict[str, int]:
+        """Checkpointable watermark progress (delegates to the generator)."""
+        return self.generator.snapshot_state()
+
+    def restore(self, snapshot: dict[str, int]) -> None:
+        self.generator.restore_state(snapshot)
+
     def current_max_ts(self) -> int:
         """The largest observed event timestamp — the job's event clock."""
         return self.generator.current_max_ts

@@ -81,6 +81,18 @@ class StateRegistry:
         self._handles.append(handle)
         return handle
 
+    def adopt(self, handle: StateHandle) -> StateHandle:
+        """Attach an existing handle to this registry.
+
+        Recovery re-runs a flow whose operators already own handles from
+        the crashed attempt's registry; re-binding via ``setup`` adopts
+        them into the new job's registry so budget checks and sampling
+        see the restored state. Idempotent per handle.
+        """
+        if handle not in self._handles:
+            self._handles.append(handle)
+        return handle
+
     def total_bytes(self) -> int:
         return sum(h.bytes_used for h in self._handles)
 

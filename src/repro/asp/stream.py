@@ -212,6 +212,11 @@ class StreamEnvironment:
         sample_every: int = 1_000,
         max_out_of_orderness: int = 0,
         backend: "str | ExecutionBackend | None" = None,
+        checkpoint_interval: int | None = None,
+        checkpoint_store=None,
+        fault_plan=None,
+        max_restarts: int = 3,
+        restart_backoff_s: float = 0.0,
     ) -> RunResult:
         resolved = resolve_backend(backend)
         settings = ExecutionSettings(
@@ -219,6 +224,11 @@ class StreamEnvironment:
             watermark_interval=watermark_interval,
             sample_every=sample_every,
             max_out_of_orderness=max_out_of_orderness,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_store=checkpoint_store,
+            fault_plan=fault_plan,
+            max_restarts=max_restarts,
+            restart_backoff_s=restart_backoff_s,
         )
         return resolved.execute(self.flow, settings)
 

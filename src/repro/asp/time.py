@@ -107,6 +107,14 @@ class WatermarkGenerator:
     def current(self) -> Watermark:
         return Watermark(self._max_ts - self.max_out_of_orderness)
 
+    def snapshot_state(self) -> dict[str, int]:
+        """Checkpointable progress: max observed ts + last emitted mark."""
+        return {"max_ts": self._max_ts, "last_emitted": self._last_emitted}
+
+    def restore_state(self, snapshot: dict[str, int]) -> None:
+        self._max_ts = snapshot["max_ts"]
+        self._last_emitted = snapshot["last_emitted"]
+
 
 @dataclass(frozen=True)
 class TimeInterval:

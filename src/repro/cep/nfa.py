@@ -17,7 +17,7 @@ of Figure 3 without any artificial cost model.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.asp.datamodel import ComplexEvent, Event
 from repro.asp.state import StateHandle
@@ -224,6 +224,48 @@ class Nfa:
             for pm in self.partials[pos]:
                 self._track_remove(pm)
             self.partials[pos] = []
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data form of the live partial matches plus counters.
+
+        Events are immutable and pickle cleanly; bindings are re-keyed by
+        stage name. The shared :class:`StateHandle` is NOT captured here —
+        the owning operator re-accounts it on restore.
+        """
+        return {
+            "partials": [
+                [(pm.events, dict(pm.binding), pm.pos, pm.blocker_ts) for pm in bucket]
+                for bucket in self.partials
+            ],
+            "work_units": self.work_units,
+            "matches_emitted": self.matches_emitted,
+            "partials_created": self.partials_created,
+            "partials_pruned": self.partials_pruned,
+        }
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Rebuild partial matches from :meth:`snapshot`.
+
+        Re-accounts each restored match against the handle via
+        ``_track_add`` (minus the creation counter, which is restored
+        verbatim); the caller must have reset the handle first.
+        """
+        self.partials = [[] for _ in range(self.num_positive)]
+        for bucket_idx, bucket in enumerate(snapshot["partials"]):
+            if bucket_idx >= self.num_positive:
+                break
+            for events, binding, pos, blocker_ts in bucket:
+                pm = PartialMatch(tuple(events), dict(binding), pos)
+                pm.blocker_ts = blocker_ts
+                self.partials[bucket_idx].append(pm)
+                if self.handle is not None:
+                    self.handle.adjust(pm.size_bytes(), +1)
+        self.work_units = snapshot["work_units"]
+        self.matches_emitted = snapshot["matches_emitted"]
+        self.partials_created = snapshot["partials_created"]
+        self.partials_pruned = snapshot["partials_pruned"]
 
 
 def run_nfa(pattern: CepPattern, events: Iterable[Event]) -> list[ComplexEvent]:

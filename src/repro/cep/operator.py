@@ -57,12 +57,31 @@ class CepOperator(StatefulOperator):
 
     def setup(self, registry) -> None:
         super().setup(registry)
-        self._handle = self.create_state("nfa-partial-matches")
+        self._handle = self._ensure_handle()
 
     def _ensure_handle(self):
         if self._handle is None:
             self._handle = self.create_state("nfa-partial-matches")
         return self._handle
+
+    def snapshot_state(self) -> dict[str, Any]:
+        snap = super().snapshot_state()
+        snap["nfas"] = {key: nfa.snapshot() for key, nfa in self._nfas.items()}
+        snap["matches"] = self.matches
+        return snap
+
+    def restore_state(self, snapshot: dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        # All NFAs share one handle: reset it once here, then each
+        # restored NFA re-accounts its own partial matches against it.
+        handle = self._ensure_handle()
+        handle.reset()
+        self._nfas = {}
+        for key, nfa_snap in snapshot["nfas"].items():
+            nfa = Nfa(self.pattern, state_handle=handle)
+            nfa.restore(nfa_snap)
+            self._nfas[key] = nfa
+        self.matches = snapshot["matches"]
 
     def _nfa_for(self, key: Any) -> Nfa:
         nfa = self._nfas.get(key)

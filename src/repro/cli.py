@@ -28,6 +28,12 @@ Subcommands
 
     python -m repro lint -p "PATTERN SEQ(Q a, V b) WITHIN 15 MINUTES" --o3 id
     python -m repro lint --catalog
+
+``chaos``     seeded fault-injection over the catalog: crash every query
+(serial + each shard once), recover from checkpoints, verify the output
+is byte-identical to a clean run::
+
+    python -m repro chaos --shards 2 --seed 7 --report chaos-report.json
 """
 
 from __future__ import annotations
@@ -169,9 +175,28 @@ def cmd_run(args: argparse.Namespace) -> int:
                 shards=shards,
                 key_attribute=options.partition_attribute or "id",
             )
+            fault_plan = None
+            if getattr(args, "fault_plan", None):
+                from repro.asp.runtime import parse_fault_plan
+
+                fault_plan = parse_fault_plan(args.fault_plan)
             query = fresh_query()
-            run = query.execute(backend=backend)
+            run = query.execute(
+                backend=backend,
+                checkpoint_interval=getattr(args, "checkpoint_interval", None),
+                fault_plan=fault_plan,
+                max_restarts=getattr(args, "max_restarts", 3),
+            )
             matches = query.matches()
+            recovery = run.metrics.get("recovery")
+            if recovery is not None:
+                checkpoints = run.metrics.get("checkpoints") or {}
+                print(
+                    f"recovery: attempts={recovery.get('attempts')} "
+                    f"recovered={recovery.get('recovered')} "
+                    f"checkpoints={checkpoints.get('count')} "
+                    f"({checkpoints.get('bytes_total', 0):,} bytes)"
+                )
             results["fasp"] = (run.throughput_tps, matches)
             print(
                 f"[{options.label()}] {run.events_in} events -> "
@@ -326,6 +351,45 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault-injection over the catalog; nonzero exit on any
+    exactness mismatch (the CI chaos gate)."""
+    from repro.asp.runtime.fault.chaos import run_chaos_suite
+
+    report = run_chaos_suite(
+        events=args.events,
+        sensors=args.sensors,
+        seed=args.seed,
+        shards=args.shards,
+        checkpoint_interval=args.checkpoint_interval,
+        patterns=args.patterns or None,
+    )
+    for query in report["queries"]:
+        serial = query["serial"]
+        sharded = query["sharded"]
+        if sharded.get("skipped"):
+            sharded_desc = f"skipped ({sharded['skipped']})"
+        else:
+            sharded_desc = (
+                f"{'ok' if sharded['match'] else 'MISMATCH'} "
+                f"(restarts={sharded['restarts']})"
+            )
+        print(
+            f"{query['pattern']}: clean={query['clean_matches']} matches | "
+            f"serial crash: {'ok' if serial['match'] else 'MISMATCH'} "
+            f"(restarts={serial['restarts']}) | "
+            f"sharded crash: {sharded_desc}"
+        )
+    verdict = "OK" if report["ok"] else "FAIL"
+    print(f"chaos suite ({len(report['queries'])} queries): {verdict}")
+    if args.report:
+        import json
+
+        Path(args.report).write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"wrote chaos report to {args.report}")
+    return 0 if report["ok"] else 1
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     pattern = _pattern_from_args(args)
     streams = _streams_from_args(args)
@@ -379,6 +443,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                      help="print up to N matches (default 5)")
     run.add_argument("--metrics-json", metavar="PATH",
                      help="write the per-operator metrics report as JSON")
+    run.add_argument("--checkpoint-interval", type=int, metavar="N",
+                     help="snapshot operator state every N events")
+    run.add_argument("--fault-plan", metavar="PLAN",
+                     help="inject faults, e.g. 'crash:at=250;slow:op=join,"
+                          "delay=0.001;drop:from=src,to=filter'")
+    run.add_argument("--max-restarts", type=int, default=3,
+                     help="restarts allowed before the run fails (default 3)")
     run.set_defaults(func=cmd_run)
 
     metrics = sub.add_parser("metrics",
@@ -410,6 +481,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true",
                       help="emit diagnostics as JSON")
     lint.set_defaults(func=cmd_lint)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="crash-and-recover every catalog query; verify exact output",
+    )
+    chaos.add_argument("--events", type=int, default=4000,
+                       help="events per generated workload (default 4000)")
+    chaos.add_argument("--sensors", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="seed for crash offsets (default 7)")
+    chaos.add_argument("--shards", type=int, default=2,
+                       help="shard count for the sharded scenarios")
+    chaos.add_argument("--checkpoint-interval", type=int, default=100,
+                       help="snapshot every N events (default 100)")
+    chaos.add_argument("--patterns", nargs="*", metavar="NAME",
+                       help="restrict to these catalog patterns")
+    chaos.add_argument("--report", metavar="PATH",
+                       help="write the structured chaos report as JSON")
+    chaos.set_defaults(func=cmd_chaos)
 
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("experiment", help="fig3a..fig3f, fig4, fig6")

@@ -105,6 +105,16 @@ class BackpressureError(ExecutionError):
     """The requested ingestion rate exceeds the sustainable throughput."""
 
 
+class InjectedFaultError(ExecutionError):
+    """A deterministic fault from a :class:`~repro.asp.runtime.fault
+    .injection.FaultPlan` fired — the simulated process crash the
+    recovery loop must mask by restarting from the latest checkpoint."""
+
+    def __init__(self, message: str, at_event: int | None = None):
+        super().__init__(message)
+        self.at_event = at_event
+
+
 class ClusterError(ReproError):
     """Invalid cluster configuration (no slots, unknown node...)."""
 

@@ -355,6 +355,11 @@ class TranslatedQuery:
         sample_every: int = 1_000,
         max_out_of_orderness: int = 0,
         backend=None,
+        checkpoint_interval: int | None = None,
+        checkpoint_store=None,
+        fault_plan=None,
+        max_restarts: int = 3,
+        restart_backoff_s: float = 0.0,
     ) -> RunResult:
         if self.sink is None:
             self.attach_sink(CollectSink())
@@ -365,6 +370,11 @@ class TranslatedQuery:
             sample_every=sample_every,
             max_out_of_orderness=max_out_of_orderness,
             backend=backend,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_store=checkpoint_store,
+            fault_plan=fault_plan,
+            max_restarts=max_restarts,
+            restart_backoff_s=restart_backoff_s,
         )
         if self.analysis is not None:
             # Static analysis and runtime observability share one

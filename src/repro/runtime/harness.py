@@ -103,6 +103,8 @@ def run_fasp(
     sample_every: int = 1_000,
     sink: Sink | None = None,
     backend=None,
+    checkpoint_interval: int | None = None,
+    fault_plan=None,
 ) -> tuple[ThroughputMeasurement, Sink, RunResult]:
     """Run the pattern through the CEP-to-ASP mapping.
 
@@ -119,6 +121,8 @@ def run_fasp(
         watermark_interval=_watermark_interval(pattern, streams),
         sample_every=sample_every,
         backend=backend,
+        checkpoint_interval=checkpoint_interval,
+        fault_plan=fault_plan,
     )
     measurement = ThroughputMeasurement.from_run(
         options.label(), pattern.name, result, matches=sink.count

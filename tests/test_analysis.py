@@ -589,3 +589,56 @@ class TestTranslatePreflight:
         report = analyze(pattern=pattern, plan=plan)
         assert report.ok()
         assert report.target == pattern.name
+
+
+class TestRecoverabilityCodes:
+    def test_ra601_stateful_operator_without_protocol(self):
+        from repro.analysis.recovery import flow_recovery_diagnostics
+
+        class Amnesiac(StatefulOperator):
+            def process(self, item, port=0):
+                return ()
+
+        flow = linear_pipeline(
+            ListSource([], name="s", event_type="Q"), [Amnesiac(name="amnesiac")]
+        )
+        diags = flow_recovery_diagnostics(flow)
+        assert any(
+            d.code == "RA601" and d.is_error and "amnesiac" in d.message
+            for d in diags
+        )
+
+    def test_ra602_half_implemented_protocol(self):
+        from repro.analysis.recovery import flow_recovery_diagnostics
+
+        class HalfWay(StatefulOperator):
+            def process(self, item, port=0):
+                return ()
+
+            def snapshot_state(self):
+                return {"work_units": self.work_units}
+
+        flow = linear_pipeline(
+            ListSource([], name="s", event_type="Q"), [HalfWay(name="half")]
+        )
+        diags = flow_recovery_diagnostics(flow)
+        hits = [d for d in diags if d.code == "RA602"]
+        assert hits and hits[0].is_error
+        assert "restore_state" in hits[0].message
+
+    def test_stateless_operators_are_exempt(self):
+        from repro.analysis.recovery import flow_recovery_diagnostics
+
+        flow = linear_pipeline(
+            ListSource([], name="s", event_type="Q"),
+            [FilterOperator(lambda e: True, name="keep")],
+        )
+        assert not flow_recovery_diagnostics(flow)
+
+    def test_translated_flows_are_ra6xx_clean(self):
+        from repro.analysis.recovery import flow_recovery_diagnostics
+
+        query = translate(parse_pattern(SEQ_KEYED), empty_sources())
+        assert not flow_recovery_diagnostics(query.env.flow)
+        report = analyze_query(query)
+        assert not (report.codes() & {"RA601", "RA602"})

@@ -1,0 +1,67 @@
+"""Reduced-scale chaos exactness over the pattern catalog.
+
+CI's ``chaos`` job runs the full suite via ``python -m repro chaos``;
+this test keeps a smaller always-on version inside the tier-1 suite so
+a recovery regression fails fast, locally, before CI.
+"""
+
+from repro.asp.datamodel import ComplexEvent, Event
+from repro.asp.runtime.fault.chaos import canonical_match_bytes, run_chaos_suite
+from repro.cli import main
+
+
+def _ce(ts, ids):
+    return ComplexEvent(tuple(Event("Q", ts=ts, id=i, value=1.0) for i in ids))
+
+
+class TestCanonicalBytes:
+    def test_order_independent_but_multiset_sensitive(self):
+        a, b = _ce(10, [1]), _ce(20, [2])
+        assert canonical_match_bytes([a, b]) == canonical_match_bytes([b, a])
+        assert canonical_match_bytes([a]) != canonical_match_bytes([a, a])
+        assert canonical_match_bytes([]) == b""
+
+
+class TestChaosSuite:
+    def test_reduced_scale_catalog_subset(self):
+        report = run_chaos_suite(
+            events=600,
+            sensors=2,
+            seed=11,
+            shards=2,
+            checkpoint_interval=50,
+            patterns=["traffic-congestion", "street-lighting-demand"],
+        )
+        assert report["ok"] is True
+        assert len(report["queries"]) == 2
+        for query in report["queries"]:
+            serial = query["serial"]
+            assert serial["match"] is True
+            assert serial["restarts"] >= 1  # a crash actually fired
+            assert serial["checkpoints"]["count"] > 0
+            sharded = query["sharded"]
+            if not sharded.get("skipped"):
+                assert sharded["match"] is True
+                assert sharded["restarts"] >= 1
+
+    def test_cli_chaos_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "chaos.json"
+        code = main(
+            [
+                "chaos",
+                "--events", "400",
+                "--sensors", "2",
+                "--seed", "3",
+                "--checkpoint-interval", "40",
+                "--patterns", "vehicle-pollution-alert",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos suite (1 queries): OK" in out
+        import json
+
+        written = json.loads(report_path.read_text())
+        assert written["ok"] is True
+        assert written["queries"][0]["pattern"] == "vehicle-pollution-alert"
