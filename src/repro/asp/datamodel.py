@@ -53,7 +53,7 @@ class Event:
         Optional mapping with additional attributes beyond the core schema.
     """
 
-    __slots__ = ("event_type", "ts", "id", "value", "lat", "lon", "attrs")
+    __slots__ = ("event_type", "ts", "id", "value", "lat", "lon", "attrs", "size_bytes")
 
     def __init__(
         self,
@@ -72,6 +72,12 @@ class Event:
         self.lat = lat
         self.lon = lon
         self.attrs = dict(attrs) if attrs else None
+        # Cached footprint: state accounting reads this on every buffer
+        # insert/evict, and events are immutable once emitted.
+        size = 96  # object header + slot references
+        if self.attrs:
+            size += 48 + 64 * len(self.attrs)
+        self.size_bytes = size
 
     def __getitem__(self, name: str) -> Any:
         """Attribute access by name, used by predicate evaluation."""
@@ -127,10 +133,7 @@ class Event:
 
     def approx_size_bytes(self) -> int:
         """Rough in-memory footprint, used by the state accounting."""
-        base = 96  # object header + 6 slot references
-        if self.attrs:
-            base += 48 + 64 * len(self.attrs)
-        return base
+        return self.size_bytes
 
     def as_dict(self) -> dict[str, Any]:
         out = {
@@ -174,7 +177,7 @@ class ComplexEvent:
     equivalence after Negri et al.) operates on.
     """
 
-    __slots__ = ("events", "ts_b", "ts_e", "ts", "detection_ts")
+    __slots__ = ("events", "ts_b", "ts_e", "ts", "detection_ts", "size_bytes")
 
     def __init__(
         self,
@@ -197,6 +200,7 @@ class ComplexEvent:
         # Wall-clock-ish time at which the match left the detecting
         # operator; used for detection-latency measurements.
         self.detection_ts = detection_ts
+        self.size_bytes = 64 + sum(e.size_bytes for e in self.events)
 
     @property
     def duration(self) -> int:
@@ -215,7 +219,7 @@ class ComplexEvent:
         return tuple(sorted((e.event_type, e.ts, e.id, e.value) for e in self.events))
 
     def approx_size_bytes(self) -> int:
-        return 64 + sum(e.approx_size_bytes() for e in self.events)
+        return self.size_bytes
 
     def __len__(self) -> int:
         return len(self.events)

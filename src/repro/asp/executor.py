@@ -110,17 +110,23 @@ def run_dataflow(
     backend: str | ExecutionBackend | None = None,
     shards: int = 4,
     key_attribute: str = "id",
+    batch_size: int = 1,
+    fusion: bool = False,
 ) -> RunResult:
     """One-shot convenience wrapper: run ``flow`` on the chosen backend.
 
     ``backend`` accepts ``None``/``"serial"``, ``"sharded"`` or an
     :class:`ExecutionBackend` instance; ``shards`` and ``key_attribute``
-    parameterize the sharded backend when selected by name.
+    parameterize the sharded backend when selected by name. ``batch_size``
+    and ``fusion`` select the micro-batched execution path (the defaults
+    keep the per-event reference semantics).
     """
     resolved = resolve_backend(backend, shards=shards, key_attribute=key_attribute)
     settings = ExecutionSettings(
         memory_budget_bytes=memory_budget_bytes,
         watermark_interval=watermark_interval,
         sample_every=sample_every,
+        batch_size=batch_size,
+        fusion=fusion,
     )
     return resolved.execute(flow, settings)

@@ -55,6 +55,13 @@ class WindowAggregate(StatefulOperator):
 
     kind = "window-aggregate"
 
+    @property
+    def reorder_safe(self) -> bool:
+        # count/min/max are exactly commutative; float sum/avg are not
+        # associative, so reordering tied timestamps across sources could
+        # perturb low-order bits of the result.
+        return self.function in ("count", "min", "max")
+
     def __init__(
         self,
         window: WindowSpec,
@@ -163,6 +170,48 @@ class WindowAggregate(StatefulOperator):
             self._next_window_index = first_index
         return ()
 
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        """Bulk-buffer a run: one ledger adjustment, one cursor update.
+
+        Windows fire only in :meth:`on_watermark` and batches never span a
+        watermark, so accumulating a whole run before any firing is
+        equivalent to per-item processing.
+        """
+        if not items:
+            return []
+        n = len(items)
+        self.work_units += n
+        handle = self._ensure_handle()
+        key_fn = self.key_fn
+        attribute = self.attribute
+        by_key = self._by_key
+        min_ts = items[0].ts
+        for item in items:
+            key = key_fn(item)
+            entry = by_key.get(key)
+            if entry is None:
+                entry = ([], [])
+                by_key[key] = entry
+            ts_list, values = entry
+            value = float(item[attribute]) if isinstance(item, Event) else float(len(item))
+            ts = item.ts
+            if ts_list and ts < ts_list[-1]:
+                pos = bisect_left(ts_list, ts)
+                ts_list.insert(pos, ts)
+                values.insert(pos, value)
+            else:
+                ts_list.append(ts)
+                values.append(value)
+            if ts < min_ts:
+                min_ts = ts
+        handle.adjust(96 * n, n)
+        first_index = self.assigner.indices_for(min_ts)[0]
+        if self._next_window_index is None:
+            self._next_window_index = first_index
+        elif not self._windows_fired and first_index < self._next_window_index:
+            self._next_window_index = first_index
+        return []
+
     def _last_useful_index(self) -> int:
         """Largest window index containing any buffered value (guards the
         terminal watermark against iterating to MAX_WATERMARK)."""
@@ -230,6 +279,9 @@ class SortedWindowUdfAggregate(WindowAggregate):
     """
 
     kind = "window-udf-aggregate"
+    # The UDF sees the window's (ts, value) pairs; equal timestamps keep
+    # arrival order, so an order-sensitive UDF could observe regrouping.
+    reorder_safe = False
 
     def __init__(
         self,

@@ -17,7 +17,7 @@ sample memory usage (Figure 5) and enforce budgets (Figure 4).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Union
+from typing import Any, Iterable, Sequence, Union
 
 from repro.asp.datamodel import ComplexEvent, Event
 from repro.asp.state import StateHandle, StateRegistry
@@ -46,7 +46,7 @@ def constituents(item: Item) -> tuple[Event, ...]:
 
 
 def item_size_bytes(item: Item) -> int:
-    return item.approx_size_bytes()
+    return item.size_bytes
 
 
 class Operator:
@@ -60,6 +60,14 @@ class Operator:
     arity = 1
     #: Logical operator category, used for plan rendering and metrics.
     kind = "operator"
+    #: Whether this operator's *output multiset* is invariant under
+    #: reordering of same-window inputs across sources. The batched
+    #: scheduler regroups a watermark window's events per source only
+    #: when every operator in the plan declares this; order-sensitive
+    #: operators (the NSEQ next-occurrence UDF, the CEP NFA, float
+    #: sum/avg aggregates) inherit the conservative default and pin the
+    #: job to strict arrival-order batching.
+    reorder_safe = False
 
     def __init__(self, name: str | None = None):
         self.name = name or type(self).__name__
@@ -97,6 +105,25 @@ class Operator:
     def process(self, item: Item, port: int = 0) -> Iterable[Item]:
         """Handle one input item; return (possibly empty) output items."""
         raise NotImplementedError
+
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        """Handle a micro-batch of items that arrived back to back on
+        ``port``; return the concatenated outputs in arrival order.
+
+        The batched execution path delivers maximal same-source runs of
+        the merged stream here, so the default — loop over
+        :meth:`process` — is always semantically correct. Operators
+        override it when they can amortize per-item costs over the run
+        (predicate loops without generator framing, bulk buffer inserts
+        with one ledger adjustment). Overrides may return the input
+        sequence unchanged for pass-through semantics; callers never
+        mutate the returned list.
+        """
+        out: list[Item] = []
+        process = self.process
+        for item in items:
+            out.extend(process(item, port))
+        return out
 
     def on_watermark(self, watermark: Watermark) -> Iterable[Item]:
         """Event time advanced past ``watermark.value``; emit results of

@@ -16,7 +16,7 @@ watermark evicts older keys.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.asp.datamodel import ComplexEvent
 from repro.asp.operators.base import Item, StatefulOperator
@@ -30,6 +30,7 @@ class DedupOperator(StatefulOperator):
     """Drop items whose dedup key was already seen within the window."""
 
     kind = "dedup"
+    reorder_safe = True
 
     def __init__(self, window_size: int, unordered: bool = False,
                  name: str | None = None):
@@ -95,6 +96,29 @@ class DedupOperator(StatefulOperator):
         self._seen[key] = item.ts
         handle.adjust(_KEY_BYTES, +1)
         return (item,)
+
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        """First-seen-wins over the whole run; one ledger adjustment."""
+        self.work_units += len(items)
+        handle = self._ensure_handle()
+        seen = self._seen
+        key_of = self._key_of
+        out: list[Item] = []
+        added = 0
+        for item in items:
+            key = key_of(item)
+            prev = seen.get(key)
+            if prev is not None:
+                self.duplicates_dropped += 1
+                if item.ts > prev:
+                    seen[key] = item.ts
+                continue
+            seen[key] = item.ts
+            added += 1
+            out.append(item)
+        if added:
+            handle.adjust(_KEY_BYTES * added, added)
+        return out
 
     def on_watermark(self, watermark: Watermark) -> Iterable[Item]:
         """Evict keys no overlapping window can re-produce."""

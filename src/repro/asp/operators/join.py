@@ -32,14 +32,14 @@ non-equi constraint) is applied to every candidate pair.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Any, Callable, Iterable, Literal
+from itertools import islice
+from typing import Any, Callable, Iterable, Literal, Sequence
 
 from repro.asp.datamodel import ComplexEvent
 from repro.asp.operators.base import (
     Item,
     StatefulOperator,
     constituents,
-    item_size_bytes,
 )
 from repro.asp.operators.window import IntervalBounds, SlidingWindowAssigner, WindowSpec
 from repro.asp.time import Watermark
@@ -52,6 +52,19 @@ GLOBAL_KEY = "__global__"
 
 def _global_key(_item: Item) -> Any:
     return GLOBAL_KEY
+
+
+def _group_by_key(items: Sequence[Item], key_fn: KeyFn) -> dict[Any, list[Item]]:
+    """Partition a run by join key, preserving arrival order per key."""
+    groups: dict[Any, list[Item]] = {}
+    for item in items:
+        key = key_fn(item)
+        group = groups.get(key)
+        if group is None:
+            groups[key] = [item]
+        else:
+            group.append(item)
+    return groups
 
 
 def compose(left: Item, right: Item, emit_ts: Literal["min", "max"]) -> ComplexEvent:
@@ -91,7 +104,33 @@ class _SideBuffer:
         else:
             ts_list.append(ts)
             items.append(item)
-        self.handle.adjust(item_size_bytes(item), +1)
+        self.handle.adjust(item.size_bytes, +1)
+
+    def extend(self, key: Any, run: Sequence[Item]) -> None:
+        """Bulk-insert a run of items with one ledger adjustment.
+
+        In-order items (the overwhelmingly common case — a micro-batch is
+        a time-ordered run from one source) take the append path without
+        any bisect; only genuinely late items fall back to positional
+        insertion.
+        """
+        entry = self.by_key.get(key)
+        if entry is None:
+            entry = ([], [])
+            self.by_key[key] = entry
+        ts_list, items = entry
+        added_bytes = 0
+        for item in run:
+            ts = item.ts
+            if ts_list and ts < ts_list[-1]:
+                pos = bisect_right(ts_list, ts)
+                ts_list.insert(pos, ts)
+                items.insert(pos, item)
+            else:
+                ts_list.append(ts)
+                items.append(item)
+            added_bytes += item.size_bytes
+        self.handle.adjust(added_bytes, len(run))
 
     def slice(self, key: Any, begin: int, end: int) -> list[Item]:
         """Items of ``key`` with ts in [begin, end)."""
@@ -109,7 +148,7 @@ class _SideBuffer:
         for key, (ts_list, items) in self.by_key.items():
             cut = bisect_left(ts_list, min_keep_ts)
             if cut:
-                freed = sum(item_size_bytes(i) for i in items[:cut])
+                freed = sum(i.size_bytes for i in islice(items, cut))
                 del ts_list[:cut]
                 del items[:cut]
                 self.handle.adjust(-freed, -cut)
@@ -143,7 +182,7 @@ class _SideBuffer:
         total_bytes = 0
         total_items = 0
         for _ts_list, items in self.by_key.values():
-            total_bytes += sum(item_size_bytes(item) for item in items)
+            total_bytes += sum(item.size_bytes for item in items)
             total_items += len(items)
         if total_items:
             self.handle.adjust(total_bytes, total_items)
@@ -154,6 +193,7 @@ class SlidingWindowJoin(StatefulOperator):
 
     arity = 2
     kind = "window-join"
+    reorder_safe = True
 
     def __init__(
         self,
@@ -241,6 +281,38 @@ class SlidingWindowJoin(StatefulOperator):
             # that, the watermark guarantees no event needs them.
             self._next_window_index = first_index
         return ()
+
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        """Bulk-buffer a run: grouped extends, one window-cursor update.
+
+        Emission happens exclusively in :meth:`on_watermark`, and batches
+        never span a watermark, so buffering a whole run at once is
+        byte-equivalent to per-item processing.
+        """
+        if not items:
+            return []
+        self._ensure_buffers()
+        n = len(items)
+        self.work_units += n
+        if port == 0:
+            buffer, key_fn = self._left, self.left_key
+        elif port == 1:
+            buffer, key_fn = self._right, self.right_key
+        else:
+            raise ValueError(f"join received item on invalid port {port}")
+        if not self.is_keyed:
+            buffer.extend(GLOBAL_KEY, items)
+        else:
+            for key, group in _group_by_key(items, key_fn).items():
+                buffer.extend(key, group)
+        # min() over the run commutes with the per-item cursor rule: the
+        # window index is monotone in ts and nothing fires mid-batch.
+        first_index = self.assigner.indices_for(min(i.ts for i in items))[0]
+        if self._next_window_index is None:
+            self._next_window_index = first_index
+        elif not self._windows_fired and first_index < self._next_window_index:
+            self._next_window_index = first_index
+        return []
 
     def watermark_delay(self) -> int:
         # Window results carry event times down to W behind the firing
@@ -348,6 +420,7 @@ class IntervalJoin(StatefulOperator):
 
     arity = 2
     kind = "interval-join"
+    reorder_safe = True
 
     def __init__(
         self,
@@ -437,6 +510,49 @@ class IntervalJoin(StatefulOperator):
             end = item.ts - self.bounds.lower
             for l_item in self._left.slice(key, begin, end):
                 self._test_and_emit(l_item, item, out)
+        else:
+            raise ValueError(f"join received item on invalid port {port}")
+        return out
+
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        """Bulk-buffer the run, then probe the *opposite* buffer per item.
+
+        A run arrives on one port only, and probes read the opposite
+        side's buffer — which this batch does not touch — so inserting the
+        whole run before probing emits exactly the pairs, in exactly the
+        order, of per-item processing. Every pair is still emitted once:
+        whichever side is processed later finds the earlier one buffered.
+        """
+        if not items:
+            return []
+        self._ensure_buffers()
+        self.work_units += len(items)
+        out: list[Item] = []
+        if port == 0:
+            key_fn = self.left_key
+            if not self.is_keyed:
+                self._left.extend(GLOBAL_KEY, items)
+            else:
+                for key, group in _group_by_key(items, key_fn).items():
+                    self._left.extend(key, group)
+            right = self._right
+            window_for = self.bounds.window_for
+            for item in items:
+                win = window_for(item.ts)
+                for r_item in right.slice(key_fn(item), win.begin, win.end):
+                    self._test_and_emit(item, r_item, out)
+        elif port == 1:
+            key_fn = self.right_key
+            if not self.is_keyed:
+                self._right.extend(GLOBAL_KEY, items)
+            else:
+                for key, group in _group_by_key(items, key_fn).items():
+                    self._right.extend(key, group)
+            left = self._left
+            upper, lower = self.bounds.upper, self.bounds.lower
+            for item in items:
+                for l_item in left.slice(key_fn(item), item.ts - upper + 1, item.ts - lower):
+                    self._test_and_emit(l_item, item, out)
         else:
             raise ValueError(f"join received item on invalid port {port}")
         return out

@@ -84,6 +84,7 @@ class KeyByOperator(Operator):
     """
 
     kind = "key-by"
+    reorder_safe = True
 
     def __init__(self, selector: KeySelector, name: str | None = None):
         super().__init__(name or "key-by")
@@ -94,3 +95,9 @@ class KeyByOperator(Operator):
         self.work_units += 1
         self.seen_keys.add(self.selector(item))
         return (item,)
+
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        self.work_units += len(items)
+        selector = self.selector
+        self.seen_keys.update(selector(item) for item in items)
+        return list(items)

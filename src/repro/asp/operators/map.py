@@ -9,7 +9,7 @@ Cartesian product on systems lacking one (paper Section 4.2.1).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.asp.datamodel import Event
 from repro.asp.operators.base import Item, Operator
@@ -17,6 +17,7 @@ from repro.asp.operators.base import Item, Operator
 
 class MapOperator(Operator):
     kind = "map"
+    reorder_safe = True
 
     def __init__(self, fn: Callable[[Item], Item], name: str | None = None):
         super().__init__(name or "map")
@@ -26,11 +27,17 @@ class MapOperator(Operator):
         self.work_units += 1
         return (self.fn(item),)
 
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        self.work_units += len(items)
+        fn = self.fn
+        return [fn(item) for item in items]
+
 
 class FlatMapOperator(Operator):
     """Map producing zero or more outputs per input item."""
 
     kind = "flatmap"
+    reorder_safe = True
 
     def __init__(self, fn: Callable[[Item], Iterable[Item]], name: str | None = None):
         super().__init__(name or "flatmap")
@@ -39,6 +46,14 @@ class FlatMapOperator(Operator):
     def process(self, item: Item, port: int = 0) -> Iterable[Item]:
         self.work_units += 1
         return self.fn(item)
+
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        self.work_units += len(items)
+        fn = self.fn
+        out: list[Item] = []
+        for item in items:
+            out.extend(fn(item))
+        return out
 
 
 class SchemaAlignOperator(Operator):
@@ -50,6 +65,7 @@ class SchemaAlignOperator(Operator):
     """
 
     kind = "map"
+    reorder_safe = True
 
     def __init__(
         self,
@@ -92,6 +108,7 @@ class KeyAssignOperator(Operator):
     """
 
     kind = "map"
+    reorder_safe = True
 
     CARTESIAN_KEY = "__all__"
 

@@ -9,7 +9,7 @@ event (creation) time contributing to it (Section 5.1.3).
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Callable, Iterable, List
+from typing import Any, Callable, Iterable, List, Sequence
 
 from repro.asp.datamodel import ComplexEvent
 from repro.asp.operators.base import Item, Operator
@@ -19,6 +19,7 @@ class Sink(Operator):
     """Base sink: swallow items, count them."""
 
     kind = "sink"
+    reorder_safe = True
 
     def __init__(self, name: str | None = None):
         super().__init__(name or "sink")
@@ -28,6 +29,13 @@ class Sink(Operator):
         self.count += 1
         self.accept(item)
         return ()
+
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        self.count += len(items)
+        accept = self.accept
+        for item in items:
+            accept(item)
+        return []
 
     def accept(self, item: Item) -> None:  # pragma: no cover - trivial default
         pass
@@ -56,6 +64,10 @@ class DiscardSink(Sink):
     def __init__(self, name: str | None = None):
         super().__init__(name or "discard-sink")
 
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        self.count += len(items)
+        return []
+
 
 class CollectSink(Sink):
     """Retain every item; used by correctness tests and examples."""
@@ -66,6 +78,11 @@ class CollectSink(Sink):
 
     def accept(self, item: Item) -> None:
         self.items.append(item)
+
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        self.count += len(items)
+        self.items.extend(items)
+        return []
 
     def snapshot_state(self) -> dict[str, Any]:
         snap = super().snapshot_state()

@@ -26,6 +26,15 @@ class Source:
     def events(self) -> Iterator[Event]:
         raise NotImplementedError
 
+    def materialized(self) -> "Sequence[Event] | None":
+        """The full event sequence, if it exists in memory.
+
+        The batched scheduler merges random-access sources with bisect
+        instead of a per-event heap; sources that stream (generators,
+        throttled wrappers) return ``None`` and take the generic path.
+        """
+        return None
+
     def __iter__(self) -> Iterator[Event]:
         for event in self.events():
             self.emitted += 1
@@ -42,6 +51,9 @@ class ListSource(Source):
 
     def events(self) -> Iterator[Event]:
         return iter(self._events)
+
+    def materialized(self) -> Sequence[Event]:
+        return self._events
 
     def __len__(self) -> int:
         return len(self._events)

@@ -12,7 +12,7 @@ the executor's responsibility (it merges source streams by timestamp).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.asp.operators.base import Item, Operator
 
@@ -21,6 +21,7 @@ class UnionOperator(Operator):
     """N-ary union: forward every input item unchanged."""
 
     kind = "union"
+    reorder_safe = True
 
     def __init__(self, arity: int = 2, name: str | None = None):
         if arity < 1:
@@ -35,3 +36,11 @@ class UnionOperator(Operator):
             raise ValueError(f"union received item on invalid port {port}")
         self.counts[port] += 1
         return (item,)
+
+    def process_batch(self, items: Sequence[Item], port: int = 0) -> list[Item]:
+        if not 0 <= port < self.arity:
+            raise ValueError(f"union received item on invalid port {port}")
+        n = len(items)
+        self.work_units += n
+        self.counts[port] += n
+        return list(items)

@@ -43,6 +43,12 @@ class ExecutionSettings:
     max_restarts: int = 3
     #: Real-time pause between restart attempts (0 keeps tests fast).
     restart_backoff_s: float = 0.0
+    #: Micro-batch size for the batched drive loop (1 = per-event
+    #: reference semantics; batches never cross watermark emissions,
+    #: checkpoint cuts, or source switches, so results stay equivalent).
+    batch_size: int = 1
+    #: Compile linear stateless filter->map segments into fused stages.
+    fusion: bool = False
 
     def without_hooks(self) -> "ExecutionSettings":
         """A copy safe to ship to another process (callables stripped;

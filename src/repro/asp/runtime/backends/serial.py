@@ -25,13 +25,15 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.asp.graph import Dataflow
+from repro.asp.operators.base import Operator
 from repro.asp.runtime.backends.base import ExecutionSettings
 from repro.asp.runtime.channels import Channel, build_channels, channel_totals
 from repro.asp.runtime.clock import RuntimeClock
 from repro.asp.runtime.instrumentation import Instrumentation
+from repro.asp.runtime.fusion import build_fused_segments
 from repro.asp.runtime.observability import LATENCY_SAMPLE_MASK
 from repro.asp.runtime.result import RunResult
-from repro.asp.runtime.scheduler import WatermarkService, merge_sources
+from repro.asp.runtime.scheduler import WatermarkService, merge_batches, merge_sources
 from repro.asp.state import StateRegistry
 from repro.asp.time import Watermark
 from repro.errors import ExecutionError, InjectedFaultError
@@ -39,6 +41,11 @@ from repro.errors import ExecutionError, InjectedFaultError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.asp.runtime.fault.checkpoint import CheckpointCoordinator
     from repro.asp.runtime.fault.injection import FaultInjector
+
+#: ``events_in >> _SAMPLE_SHIFT`` changes exactly when the counter
+#: crosses a multiple of ``LATENCY_SAMPLE_MASK + 1`` — the batched
+#: equivalent of the per-event ``events_in & MASK`` stride sample.
+_SAMPLE_SHIFT = LATENCY_SAMPLE_MASK.bit_length()
 
 
 class SerialJob:
@@ -90,6 +97,34 @@ class SerialJob:
         )
         self._dropped: set[tuple[int, int]] = (
             injector.dropped_edges(flow) if injector is not None else set()
+        )
+        #: Batched execution engages when either knob departs from the
+        #: per-event reference defaults.
+        self._batched = settings.batch_size > 1 or settings.fusion
+        #: Operators that inherit the base no-op ``on_watermark``. The
+        #: batched broadcast skips calling them (watermark frames and the
+        #: call counter are still accounted, so channel totals and
+        #: reports match the reference path exactly).
+        self._wm_transparent: set[int] = {
+            node.node_id
+            for node in flow.operator_nodes()
+            if type(node.operator).on_watermark is Operator.on_watermark
+        }
+        #: head node id -> compiled stateless chain (fusion overlay; the
+        #: flow graph itself is never rewritten). Operators with injected
+        #: slow delays and severed interior channels never fuse — their
+        #: effects are applied on the unfused path.
+        self._segments = (
+            build_fused_segments(
+                flow,
+                self.instrumentation.op_metrics,
+                self.channels,
+                self.clock,
+                exclude_nodes=frozenset(self._node_delays),
+                exclude_edges=frozenset(self._dropped),
+            )
+            if settings.fusion
+            else {}
         )
         #: Source events with a merged-stream index <= start_offset are
         #: skipped (already consumed by the restored checkpoint).
@@ -147,15 +182,95 @@ class SerialJob:
                 from_id, node_id, port = node_id, channel.target_id, channel.port
                 continue
             for channel in outs:
-                channel.frame_items(len(outputs))
+                # Severed channels carry nothing — and frames follow the
+                # items actually delivered, one frame per item, matching
+                # the linear branch above (counting one burst of
+                # ``len(outputs)`` per channel here would overstate what
+                # each recursive single-item delivery pushes).
+                if self._dropped and (node_id, channel.target_id) in self._dropped:
+                    continue
                 for out in outputs:
+                    channel.frame_items(1)
                     self._push(channel.target_id, out, channel.port, node_id)
+            return
+
+    def _push_batch(self, node_id: int, items, port: int, from_id: int) -> None:
+        """Deliver a micro-batch to ``node_id`` and walk downstream.
+
+        The batched counterpart of :meth:`_push`: one ``process_batch``
+        dispatch, one metrics update and one channel frame per batch per
+        hop. Fused segments collapse whole stateless chains into a single
+        timed call. The latency histogram keeps its per-event stride —
+        a batch contributes its mean per-item latency whenever the
+        ``events_in`` counter crosses a sample-stride boundary.
+        """
+        if self._dropped and (from_id, node_id) in self._dropped:
+            return
+        nodes = self.flow.nodes
+        op_metrics = self.instrumentation.op_metrics
+        channels = self.channels
+        clock = self.clock
+        delays = self._node_delays
+        segments = self._segments
+        while True:
+            segment = segments.get(node_id) if port == 0 else None
+            if segment is not None:
+                start = clock.now()
+                outputs = segment.process_batch(items)
+                segment.busy += clock.now() - start
+                node_id = segment.tail_id
+                if not outputs:
+                    return
+            else:
+                node = nodes[node_id]
+                start = clock.now()
+                outputs = node.operator.process_batch(items, port)
+                if delays:
+                    delay = delays.get(node_id)
+                    if delay:
+                        clock.advance(delay * len(items))
+                elapsed = clock.now() - start
+                metrics = op_metrics[node_id]
+                metrics.busy += elapsed
+                before = metrics.events_in
+                metrics.events_in = before + len(items)
+                if before >> _SAMPLE_SHIFT != metrics.events_in >> _SAMPLE_SHIFT:
+                    metrics.latency.observe(elapsed / len(items))
+                if not outputs:
+                    return
+                metrics.events_out += len(outputs)
+            outs = channels[node_id]
+            if not outs:
+                self.items_out += len(outputs)
+                return
+            if len(outs) == 1:
+                channel = outs[0]
+                if self._dropped and (node_id, channel.target_id) in self._dropped:
+                    return
+                channel.frame_items(len(outputs))
+                items = outputs
+                from_id, node_id, port = node_id, channel.target_id, channel.port
+                continue
+            for channel in outs:
+                if self._dropped and (node_id, channel.target_id) in self._dropped:
+                    continue
+                channel.frame_items(len(outputs))
+                self._push_batch(channel.target_id, outputs, channel.port, node_id)
             return
 
     def _inject(self, source_node_id: int, event) -> None:
         for channel in self.channels[source_node_id]:
+            if self._dropped and (source_node_id, channel.target_id) in self._dropped:
+                continue
             channel.frame_items(1)
             self._push(channel.target_id, event, channel.port, source_node_id)
+
+    def _inject_batch(self, source_node_id: int, events: list) -> None:
+        for channel in self.channels[source_node_id]:
+            if self._dropped and (source_node_id, channel.target_id) in self._dropped:
+                continue
+            channel.frame_items(len(events))
+            self._push_batch(channel.target_id, events, channel.port, source_node_id)
 
     def _broadcast_watermark(self, watermark: Watermark) -> None:
         """Advance event time on all operators in topological order.
@@ -166,8 +281,17 @@ class SerialJob:
         """
         op_metrics = self.instrumentation.op_metrics
         clock = self.clock
+        batched = self._batched
+        transparent = self._wm_transparent
         for node in self.watermarks.topo:
             if node.is_source:
+                for channel in self.channels[node.node_id]:
+                    channel.frame_watermark()
+                continue
+            if batched and node.node_id in transparent:
+                # Base-class no-op: skip the localize + call, keep the
+                # frames and the call counter byte-identical.
+                op_metrics[node.node_id].watermark_calls += 1
                 for channel in self.channels[node.node_id]:
                     channel.frame_watermark()
                 continue
@@ -187,8 +311,19 @@ class SerialJob:
             if not outs:
                 self.items_out += len(outputs)
                 continue
+            if self._batched:
+                for channel in outs:
+                    if self._dropped and (node.node_id, channel.target_id) in self._dropped:
+                        continue
+                    channel.frame_items(len(outputs))
+                    self._push_batch(
+                        channel.target_id, outputs, channel.port, node.node_id
+                    )
+                continue
             for out in outputs:
                 for channel in outs:
+                    if self._dropped and (node.node_id, channel.target_id) in self._dropped:
+                        continue
                     channel.frame_items(1)
                     self._push(channel.target_id, out, channel.port, node.node_id)
 
@@ -196,28 +331,16 @@ class SerialJob:
 
     def run(self) -> RunResult:
         instr = self.instrumentation
-        injector = self.injector
-        coordinator = self.coordinator
         started = instr.start_run()
         failed = False
         failure: str | None = None
         if self.start_offset:
             self.events_in = self.start_offset
         try:
-            for index, (node_id, event) in enumerate(merge_sources(self.flow), start=1):
-                if index <= self.start_offset:
-                    # Replay: the checkpoint already consumed this prefix.
-                    continue
-                self.events_in = index
-                if injector is not None:
-                    injector.before_event(index)
-                self._inject(node_id, event)
-                watermark = self.watermarks.observe(event.ts)
-                if watermark is not None:
-                    self._broadcast_watermark(watermark)
-                instr.after_event(index, watermark is not None)
-                if coordinator is not None and coordinator.due(index):
-                    coordinator.take(self)
+            if self._batched:
+                self._drive_batched()
+            else:
+                self._drive_serial()
             self._broadcast_watermark(Watermark.terminal())
             # Records the closing sample too, so short runs (fewer events
             # than sample_every) still yield a Figure-5 data point.
@@ -232,7 +355,81 @@ class SerialJob:
         wall = self.clock.now() - started
         return self._build_result(wall, failed, failure)
 
+    def _drive_serial(self) -> None:
+        """The per-event reference drive loop."""
+        instr = self.instrumentation
+        injector = self.injector
+        coordinator = self.coordinator
+        for index, (node_id, event) in enumerate(merge_sources(self.flow), start=1):
+            if index <= self.start_offset:
+                # Replay: the checkpoint already consumed this prefix.
+                continue
+            self.events_in = index
+            if injector is not None:
+                injector.before_event(index)
+            self._inject(node_id, event)
+            watermark = self.watermarks.observe(event.ts)
+            if watermark is not None:
+                self._broadcast_watermark(watermark)
+            instr.after_event(index, watermark is not None)
+            if coordinator is not None and coordinator.due(index):
+                coordinator.take(self)
+
+    def _drive_batched(self) -> None:
+        """The micro-batch drive loop — equivalent by construction.
+
+        Batches are same-source runs that never span a watermark
+        emission; additional cuts force batch boundaries at exactly the
+        indices where serial execution acts between events: sampling and
+        checkpoint cadence multiples, and pending crash offsets (a crash
+        at event K fires with the batch that *starts* at K, before any of
+        its events flow — the same consistent cut as the serial loop).
+        """
+        instr = self.instrumentation
+        injector = self.injector
+        coordinator = self.coordinator
+        cut_indices: list[int] = []
+        if injector is not None:
+            # The batch containing offset K must begin at K, so the
+            # previous batch is cut at K - 1.
+            cut_indices = [off - 1 for off in injector.pending_crash_offsets()]
+        cut_intervals = [instr.sample_every]
+        if coordinator is not None and coordinator.interval:
+            cut_intervals.append(coordinator.interval)
+        # Whole-window regrouping (per-source delivery within a watermark
+        # window) is a plan property: every operator must declare its
+        # output multiset invariant under same-window reordering.
+        regroup = all(
+            node.payload.reorder_safe
+            for node in self.flow.nodes.values()
+            if not node.is_source
+        )
+        for node_id, events, watermark, last_index in merge_batches(
+            self.flow,
+            self.watermarks,
+            batch_size=self.settings.batch_size,
+            start_offset=self.start_offset,
+            cut_indices=cut_indices,
+            cut_intervals=cut_intervals,
+            regroup=regroup,
+        ):
+            first_index = last_index - len(events) + 1
+            if injector is not None:
+                self.events_in = first_index
+                injector.before_batch(first_index, last_index)
+            self.events_in = last_index
+            self._inject_batch(node_id, events)
+            if watermark is not None:
+                self._broadcast_watermark(watermark)
+            instr.after_event(last_index, watermark is not None)
+            if coordinator is not None and coordinator.due(last_index):
+                coordinator.take(self)
+
     def _build_result(self, wall: float, failed: bool, failure: str | None) -> RunResult:
+        # Fused segments carry whole-segment busy time; fold it back into
+        # the per-stage metrics before publishing (idempotent).
+        for segment in self._segments.values():
+            segment.finalize_metrics()
         instr = self.instrumentation
         return RunResult(
             job_name=self.flow.name,
@@ -246,7 +443,12 @@ class SerialJob:
             samples=instr.samples,
             stage_seconds=instr.stage_seconds(),
             metrics={"operators": instr.metrics_tree(self.watermarks.delays)},
-            metadata={"backend": "serial", "channels": channel_totals(self.channels)},
+            metadata={
+                "backend": "serial",
+                "channels": channel_totals(self.channels),
+                "batch_size": self.settings.batch_size,
+                "fused_segments": sorted(s.name for s in self._segments.values()),
+            },
         )
 
     def to_failed_result(self, failure: str) -> RunResult:

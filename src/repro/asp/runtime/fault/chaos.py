@@ -76,11 +76,19 @@ def run_chaos_suite(
     shards: int = 2,
     checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
     patterns: list[str] | None = None,
+    batch_size: int = 1,
+    fusion: bool = False,
 ) -> dict[str, Any]:
     """Run the full chaos suite; returns the structured report.
 
     ``report["ok"]`` is True only when every query passed serial-crash
     exactness and (where shardable) sharded-crash exactness.
+
+    ``batch_size``/``fusion`` switch the *crashed* executions onto the
+    micro-batched engine while the clean reference stays per-event, so
+    the byte-identity check then covers recovery *and* the batched hot
+    path in one gate (batch cuts must land on the same consistent cuts
+    as the reference's between-event checkpoints).
     """
     from repro.mapping.advisor import recommend_options
     from repro.patterns import CATALOG
@@ -104,10 +112,12 @@ def run_chaos_suite(
             "clean_matches": len(clean_query.matches()),
         }
         entry["serial"] = _serial_chaos(
-            pattern, streams, options, clean_bytes, total, checkpoint_interval, rng
+            pattern, streams, options, clean_bytes, total, checkpoint_interval,
+            rng, batch_size, fusion,
         )
         entry["sharded"] = _sharded_chaos(
-            pattern, streams, total, shards, checkpoint_interval, rng
+            pattern, streams, total, shards, checkpoint_interval,
+            rng, batch_size, fusion,
         )
         queries.append(entry)
 
@@ -121,6 +131,8 @@ def run_chaos_suite(
         "sensors": sensors,
         "shards": shards,
         "checkpoint_interval": checkpoint_interval,
+        "batch_size": batch_size,
+        "fusion": fusion,
         "queries": queries,
         "ok": all(_passed(q["serial"]) and _passed(q["sharded"]) for q in queries),
     }
@@ -134,12 +146,16 @@ def _seeded_offsets(rng: random.Random, total: int, interval: int, count: int) -
 
 
 def _serial_chaos(
-    pattern, streams, options, clean_bytes, total, interval, rng
+    pattern, streams, options, clean_bytes, total, interval, rng,
+    batch_size, fusion,
 ) -> dict[str, Any]:
     offsets = _seeded_offsets(rng, total, interval, count=2)
     plan = FaultPlan(tuple(FaultSpec("crash", at_event=o) for o in offsets))
     query = _fresh_query(pattern, streams, options)
-    result = query.execute(checkpoint_interval=interval, fault_plan=plan)
+    result = query.execute(
+        checkpoint_interval=interval, fault_plan=plan,
+        batch_size=batch_size, fusion=fusion,
+    )
     recovered_bytes = canonical_match_bytes(query.matches())
     recovery = result.metrics.get("recovery", {})
     return {
@@ -155,7 +171,7 @@ def _serial_chaos(
 
 
 def _sharded_chaos(
-    pattern, streams, total, shards, interval, rng
+    pattern, streams, total, shards, interval, rng, batch_size, fusion
 ) -> dict[str, Any]:
     """Crash every shard once; compare against a clean keyed serial run.
 
@@ -185,7 +201,8 @@ def _sharded_chaos(
     plan = FaultPlan.crash_each_shard_once(shards, lo, hi, seed=rng.randint(0, 2**31))
     query = _fresh_query(pattern, streams, keyed)
     result = query.execute(
-        backend=backend, checkpoint_interval=interval, fault_plan=plan
+        backend=backend, checkpoint_interval=interval, fault_plan=plan,
+        batch_size=batch_size, fusion=fusion,
     )
     recovered_bytes = canonical_match_bytes(query.matches())
     recovery = result.metrics.get("recovery", {})

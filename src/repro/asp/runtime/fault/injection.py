@@ -114,6 +114,37 @@ class FaultInjector:
                     f"injected crash before event {events_in}", at_event=events_in
                 )
 
+    def pending_crash_offsets(self) -> list[int]:
+        """1-based offsets of crash specs that have not fired yet.
+
+        The batched drive loop forces batch boundaries just before these
+        offsets so a crash fires at exactly the consistent cut the serial
+        reference would crash at.
+        """
+        return [
+            spec.at_event
+            for idx, spec in enumerate(self.plan.faults)
+            if spec.kind == "crash" and idx not in self._fired and spec.at_event
+        ]
+
+    def before_batch(self, first_event: int, last_event: int) -> None:
+        """Crash when a not-yet-fired crash spec falls inside the batch.
+
+        The batch builder cuts batches so a pending offset is always the
+        *first* event of its batch; matching the whole span keeps this
+        safe even for offsets registered after batching started.
+        """
+        for idx, spec in enumerate(self.plan.faults):
+            if spec.kind != "crash" or idx in self._fired:
+                continue
+            if spec.at_event is not None and first_event <= spec.at_event <= last_event:
+                self._fired.add(idx)
+                self.crashes_fired += 1
+                raise InjectedFaultError(
+                    f"injected crash before event {spec.at_event}",
+                    at_event=spec.at_event,
+                )
+
     # -- slow / drop ------------------------------------------------------
 
     def node_delays(self, flow: "Dataflow") -> dict[int, float]:

@@ -217,6 +217,8 @@ class StreamEnvironment:
         fault_plan=None,
         max_restarts: int = 3,
         restart_backoff_s: float = 0.0,
+        batch_size: int = 1,
+        fusion: bool = False,
     ) -> RunResult:
         resolved = resolve_backend(backend)
         settings = ExecutionSettings(
@@ -229,6 +231,8 @@ class StreamEnvironment:
             fault_plan=fault_plan,
             max_restarts=max_restarts,
             restart_backoff_s=restart_backoff_s,
+            batch_size=batch_size,
+            fusion=fusion,
         )
         return resolved.execute(self.flow, settings)
 

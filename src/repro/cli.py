@@ -186,6 +186,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                 checkpoint_interval=getattr(args, "checkpoint_interval", None),
                 fault_plan=fault_plan,
                 max_restarts=getattr(args, "max_restarts", 3),
+                batch_size=getattr(args, "batch_size", 1),
+                fusion=not getattr(args, "no_fusion", True),
             )
             matches = query.matches()
             recovery = run.metrics.get("recovery")
@@ -363,6 +365,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         shards=args.shards,
         checkpoint_interval=args.checkpoint_interval,
         patterns=args.patterns or None,
+        batch_size=args.batch_size,
+        fusion=args.batch_size > 1 and not args.no_fusion,
     )
     for query in report["queries"]:
         serial = query["serial"]
@@ -450,6 +454,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                           "delay=0.001;drop:from=src,to=filter'")
     run.add_argument("--max-restarts", type=int, default=3,
                      help="restarts allowed before the run fails (default 3)")
+    run.add_argument("--batch-size", type=int, default=256, metavar="N",
+                     help="micro-batch size for the FASP engine "
+                          "(default 256; 1 = per-event reference path)")
+    run.add_argument("--no-fusion", action="store_true",
+                     help="disable compiled fusion of stateless "
+                          "filter/map segments")
     run.set_defaults(func=cmd_run)
 
     metrics = sub.add_parser("metrics",
@@ -497,6 +507,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="snapshot every N events (default 100)")
     chaos.add_argument("--patterns", nargs="*", metavar="NAME",
                        help="restrict to these catalog patterns")
+    chaos.add_argument("--batch-size", type=int, default=1, metavar="N",
+                       help="run the crashed executions on the micro-batched "
+                            "engine (default 1 = per-event reference path); "
+                            "the clean reference stays per-event, so the "
+                            "byte-identity gate covers batching + recovery")
+    chaos.add_argument("--no-fusion", action="store_true",
+                       help="disable compiled fusion of stateless "
+                            "filter/map segments in batched chaos runs")
     chaos.add_argument("--report", metavar="PATH",
                        help="write the structured chaos report as JSON")
     chaos.set_defaults(func=cmd_chaos)

@@ -39,7 +39,7 @@ from repro.mapping.plan import (
 )
 from repro.mapping.rules import build_plan
 from repro.sea.ast import Pattern
-from repro.sea.predicates import Predicate
+from repro.sea.predicates import Predicate, compile_check
 
 
 def _binding_of(aliases: tuple[str, ...], events: tuple[Event, ...]) -> dict[str, Event]:
@@ -185,6 +185,10 @@ class _Compiler:
                         return False
                 return True
 
+            # Closure-compiled form of the same conjunction; the batched
+            # engine's filter hot path picks it up (the per-event
+            # reference path keeps the tree-walking evaluator).
+            check.compiled = compile_check(filters)
             handle = handle.filter(check, name=f"filter[{node.alias}]")
         return handle
 
@@ -360,6 +364,8 @@ class TranslatedQuery:
         fault_plan=None,
         max_restarts: int = 3,
         restart_backoff_s: float = 0.0,
+        batch_size: int = 1,
+        fusion: bool = False,
     ) -> RunResult:
         if self.sink is None:
             self.attach_sink(CollectSink())
@@ -375,6 +381,8 @@ class TranslatedQuery:
             fault_plan=fault_plan,
             max_restarts=max_restarts,
             restart_backoff_s=restart_backoff_s,
+            batch_size=batch_size,
+            fusion=fusion,
         )
         if self.analysis is not None:
             # Static analysis and runtime observability share one

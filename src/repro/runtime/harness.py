@@ -60,6 +60,8 @@ def run_fcep(
     sample_every: int = 1_000,
     sink: Sink | None = None,
     backend=None,
+    batch_size: int = 1,
+    fusion: bool = False,
 ) -> tuple[ThroughputMeasurement, Sink, RunResult]:
     """Run the pattern FlinkCEP-style: union all streams into one unary
     CEP operator (Section 5.1.2).
@@ -87,6 +89,8 @@ def run_fcep(
         watermark_interval=_watermark_interval(pattern, streams),
         sample_every=sample_every,
         backend=backend,
+        batch_size=batch_size,
+        fusion=fusion,
     )
     measurement = ThroughputMeasurement.from_run(
         "FCEP", pattern.name, result, matches=sink.count
@@ -105,6 +109,8 @@ def run_fasp(
     backend=None,
     checkpoint_interval: int | None = None,
     fault_plan=None,
+    batch_size: int = 1,
+    fusion: bool = False,
 ) -> tuple[ThroughputMeasurement, Sink, RunResult]:
     """Run the pattern through the CEP-to-ASP mapping.
 
@@ -123,6 +129,8 @@ def run_fasp(
         backend=backend,
         checkpoint_interval=checkpoint_interval,
         fault_plan=fault_plan,
+        batch_size=batch_size,
+        fusion=fusion,
     )
     measurement = ThroughputMeasurement.from_run(
         options.label(), pattern.name, result, matches=sink.count

@@ -291,6 +291,75 @@ def compile_single_alias(predicates: Iterable[Predicate], alias: str) -> Callabl
     return check
 
 
+# -- closure compilation (batched/fused execution hot path) -------------------
+#
+# Tree-walking ``evaluate`` pays a binding-dict allocation, an operator
+# table lookup, and a virtual dispatch per node per call. For predicates
+# whose conjuncts each reference at most one alias — the filter-pushdown
+# case — the tree can instead be compiled once into nested closures that
+# read the event directly. Semantics are identical to ``evaluate`` with
+# a singleton binding (same operators, same short-circuiting).
+
+
+def _compile_expr(expr: Expr) -> Callable[[Event], Any]:
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda event: value
+    if isinstance(expr, Attr):
+        attribute = expr.attribute
+        return lambda event: event[attribute]
+    if isinstance(expr, Arith):
+        op = _ARITH_OPS[expr.op]
+        left = _compile_expr(expr.left)
+        right = _compile_expr(expr.right)
+        return lambda event: op(left(event), right(event))
+    raise TypeError(f"cannot compile expression {expr!r}")
+
+
+def _compile_pred(pred: Predicate) -> Callable[[Event], bool]:
+    if isinstance(pred, Compare):
+        op = _CMP_OPS[pred.op]
+        left = _compile_expr(pred.left)
+        right = _compile_expr(pred.right)
+        return lambda event: op(left(event), right(event))
+    if isinstance(pred, And):
+        left = _compile_pred(pred.left)
+        right = _compile_pred(pred.right)
+        return lambda event: left(event) and right(event)
+    if isinstance(pred, Or):
+        left = _compile_pred(pred.left)
+        right = _compile_pred(pred.right)
+        return lambda event: left(event) or right(event)
+    if isinstance(pred, Not):
+        inner = _compile_pred(pred.inner)
+        return lambda event: not inner(event)
+    if isinstance(pred, TruePredicate):
+        return lambda event: True
+    raise TypeError(f"cannot compile predicate {pred!r}")
+
+
+def compile_check(predicates: Iterable[Predicate]) -> Callable[[Event], bool] | None:
+    """Compile a conjunct list (each referencing at most one alias, i.e.
+    pushdown filters over a single event) into one fast closure, or
+    ``None`` for predicate types without a compiled form."""
+    try:
+        checks = [_compile_pred(p) for p in predicates]
+    except TypeError:
+        return None
+    if not checks:
+        return lambda event: True
+    if len(checks) == 1:
+        return checks[0]
+
+    def check(event: Event) -> bool:
+        for c in checks:
+            if not c(event):
+                return False
+        return True
+
+    return check
+
+
 # -- convenience constructors used by tests and examples ---------------------
 
 

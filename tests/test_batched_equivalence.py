@@ -1,0 +1,243 @@
+"""Batched + fused execution equivalence (PR 5).
+
+The micro-batched path (``batch_size > 1``) and compiled stateless
+fusion (``fusion=True``) are pure execution-strategy changes: for every
+catalog query they must emit the exact same match multiset as the
+per-event reference path, with identical ``events_in``/``items_out``
+and identical join-level ``pairs_emitted``. Fused segments must also
+preserve exact per-stage metrics, checkpoint/recovery must stay
+byte-identical under batching, and the fan-out framing fix must keep
+channel frame totals consistent between the two drives.
+"""
+
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.asp.datamodel import Event
+from repro.asp.operators.sink import CollectSink
+from repro.asp.runtime import FaultPlan, FaultSpec
+from repro.asp.runtime.fault.chaos import (
+    _fresh_query,
+    _streams_for,
+    canonical_match_bytes,
+)
+from repro.asp.stream import StreamEnvironment
+from repro.mapping.advisor import recommend_options
+from repro.patterns import CATALOG
+
+SCALE_EVENTS = 900
+SCALE_SENSORS = 3
+SEED = 11
+
+#: Batched configurations exercised against the per-event reference:
+#: tiny odd batches (boundary churn), a production-like size with
+#: fusion, fusion alone, and batches larger than the whole stream.
+BATCH_CONFIGS = [(7, False), (64, True), (1, True), (1024, True)]
+
+
+def _catalog_runs(name):
+    pattern = CATALOG[name]()
+    options = recommend_options(pattern).options
+    streams = _streams_for(pattern, SCALE_EVENTS, SCALE_SENSORS, SEED)
+
+    def run(batch_size, fusion):
+        query = _fresh_query(pattern, streams, options)
+        result = query.execute(batch_size=batch_size, fusion=fusion)
+        pairs = sum(
+            getattr(node.payload, "pairs_emitted", 0)
+            for node in query.env.flow.nodes.values()
+        )
+        return result, canonical_match_bytes(query.matches()), pairs
+
+    return run
+
+
+def test_catalog_batched_matches_serial_reference():
+    failures = []
+    for name in sorted(CATALOG):
+        run = _catalog_runs(name)
+        ref, ref_bytes, ref_pairs = run(1, False)
+        for batch_size, fusion in BATCH_CONFIGS:
+            res, out_bytes, pairs = run(batch_size, fusion)
+            label = f"{name} bs={batch_size} fusion={fusion}"
+            if out_bytes != ref_bytes:
+                failures.append(f"{label}: match bytes differ")
+            if res.events_in != ref.events_in:
+                failures.append(
+                    f"{label}: events_in {res.events_in} != {ref.events_in}"
+                )
+            if res.items_out != ref.items_out:
+                failures.append(
+                    f"{label}: items_out {res.items_out} != {ref.items_out}"
+                )
+            if pairs != ref_pairs:
+                failures.append(f"{label}: pairs_emitted {pairs} != {ref_pairs}")
+            if res.failed:
+                failures.append(f"{label}: run failed: {res.failure}")
+    assert not failures, "\n".join(failures)
+
+
+def test_batched_channel_totals_match_serial():
+    """Frame totals are drive-independent (only peak_burst may differ)."""
+    name = "pollution-any-particulate"
+    run = _catalog_runs(name)
+    ref, _, _ = run(1, False)
+    batched, _, _ = run(64, True)
+    ref_channels = ref.metadata["channels"]
+    batched_channels = batched.metadata["channels"]
+    assert batched_channels["item_frames"] == ref_channels["item_frames"]
+    assert batched_channels["watermark_frames"] == ref_channels["watermark_frames"]
+
+
+def _fanout_env(events, n_consumers):
+    """One source fanning out to several filters (the PR 5 framing fix)."""
+    env = StreamEnvironment("fanout")
+    src = env.from_events(events, event_type="A")
+    doubled = src.flat_map(
+        lambda e: [e, Event(e.event_type, ts=e.ts, id=e.id, value=e.value + 0.5)],
+        name="dup",
+    )
+    sinks = []
+    for i in range(n_consumers):
+        branch = doubled.filter(lambda e: True, name=f"branch{i}")
+        sinks.append(branch.sink(CollectSink()))
+    return env, sinks
+
+
+def test_fanout_framing_counts_delivered_items():
+    from repro.asp.runtime import ExecutionSettings
+    from repro.asp.runtime.backends.serial import SerialJob
+
+    events = [Event("A", ts=i * 1000, id=1, value=float(i)) for i in range(40)]
+    env, sinks = _fanout_env(events, n_consumers=2)
+    job = SerialJob(env.flow, ExecutionSettings())
+    result = job.run()
+    # The flat_map doubles the stream, so each fan-out channel carries
+    # 80 items and must record exactly 80 item frames — one per
+    # delivered item, not one per process() call.
+    fanout = [
+        c
+        for group in job.channels.values()
+        for c in group
+        if c.source_name.startswith("dup") and c.target_name.startswith("branch")
+    ]
+    assert len(fanout) == 2
+    for channel in fanout:
+        assert channel.items == 2 * len(events), channel.target_name
+    for sink in sinks:
+        assert sink.count == 2 * len(events)
+
+    # Batched drive: identical totals, aggregate and per-edge.
+    env2, sinks2 = _fanout_env(events, n_consumers=2)
+    batched = env2.execute(batch_size=16, fusion=True)
+    assert (
+        batched.metadata["channels"]["item_frames"]
+        == result.metadata["channels"]["item_frames"]
+    )
+    assert (
+        batched.metadata["channels"]["watermark_frames"]
+        == result.metadata["channels"]["watermark_frames"]
+    )
+    assert [s.items for s in sinks2] == [s.items for s in sinks]
+
+
+def _stage_counts(result):
+    ops = result.metrics["operators"]
+    return {
+        scope: (m["events_in"]["value"], m["events_out"]["value"])
+        for scope, m in ops.items()
+    }
+
+
+def _chain_env(values, batch_size, fusion):
+    events = [
+        Event("A", ts=i * 1000, id=1 + (i % 3), value=v)
+        for i, v in enumerate(values)
+    ]
+    env = StreamEnvironment("chain")
+    src = env.from_events(events, event_type="A")
+    stage = src.filter(lambda e: e.value >= 0, name="nonneg")
+    stage = stage.map(
+        lambda e: Event(e.event_type, ts=e.ts, id=e.id, value=e.value * 2.0),
+        name="double",
+    )
+    stage = stage.filter(lambda e: e.value < 120, name="cap")
+    sink = stage.sink(CollectSink())
+    result = env.execute(batch_size=batch_size, fusion=fusion)
+    return result, sink
+
+
+@hsettings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), max_size=120
+    ),
+    batch_size=st.sampled_from([1, 3, 17, 256]),
+)
+def test_fused_stage_metrics_equal_unfused(values, batch_size):
+    """Fusing a filter->map->filter chain never changes per-stage counts."""
+    fused_result, fused_sink = _chain_env(values, batch_size, fusion=True)
+    plain_result, plain_sink = _chain_env(values, 1, fusion=False)
+    assert [e.value for e in fused_sink.items] == [
+        e.value for e in plain_sink.items
+    ]
+    fused = _stage_counts(fused_result)
+    plain = _stage_counts(plain_result)
+    assert fused == plain
+    if len(values) > 0:
+        assert fused_result.metadata["fused_segments"] == ["nonneg+double+cap"]
+
+
+def test_fused_segment_composition_and_busy_attribution():
+    result, _ = _chain_env([float(i) for i in range(200)], 32, fusion=True)
+    assert result.metadata["fused_segments"] == ["nonneg+double+cap"]
+    # Busy time distributed back onto constituent stages, never negative.
+    for scope in ("nonneg#", "double#", "cap#"):
+        matching = [s for s in result.stage_seconds if s.startswith(scope)]
+        assert matching, scope
+        assert all(result.stage_seconds[s] >= 0 for s in matching)
+
+
+def test_chaos_recovery_byte_identical_under_batching():
+    """Crashes cut at batch boundaries; recovery replays exactly."""
+    pattern = CATALOG["traffic-congestion"]()
+    options = recommend_options(pattern).options
+    streams = _streams_for(pattern, 1500, SCALE_SENSORS, SEED)
+
+    clean = _fresh_query(pattern, streams, options)
+    clean.execute()
+    clean_bytes = canonical_match_bytes(clean.matches())
+
+    total = sum(len(evs) for evs in streams.values())
+    offsets = (max(150, total // 4), max(300, total // 2))
+    plan = FaultPlan(tuple(FaultSpec("crash", at_event=o) for o in offsets))
+    for batch_size, fusion in ((64, True), (7, False)):
+        query = _fresh_query(pattern, streams, options)
+        result = query.execute(
+            checkpoint_interval=100,
+            fault_plan=plan,
+            batch_size=batch_size,
+            fusion=fusion,
+        )
+        assert not result.failed, result.failure
+        recovery = result.metrics["recovery"]
+        assert recovery["recovered"]
+        assert len(recovery["restarts"]) == len(offsets)
+        assert canonical_match_bytes(query.matches()) == clean_bytes
+
+
+def test_sharded_backend_runs_batched_per_shard():
+    from repro.asp.runtime import ShardedBackend
+
+    pattern = CATALOG["traffic-congestion"]()
+    keyed = recommend_options(pattern, partition_attribute="id").options
+    streams = _streams_for(pattern, SCALE_EVENTS, SCALE_SENSORS, SEED)
+
+    serial = _fresh_query(pattern, streams, keyed)
+    serial.execute()
+    serial_bytes = canonical_match_bytes(serial.matches())
+
+    query = _fresh_query(pattern, streams, keyed)
+    backend = ShardedBackend(shards=2, key_attribute="id", mode="inline")
+    result = query.execute(backend=backend, batch_size=64, fusion=True)
+    assert not result.failed, result.failure
+    assert canonical_match_bytes(query.matches()) == serial_bytes
