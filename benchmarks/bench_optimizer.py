@@ -1,0 +1,58 @@
+"""Plan optimizer vs default plan (plan speedup cells).
+
+Every cell pair runs the identical pattern + workload twice — default
+translation vs cost-model-driven rewrite (``+opt``) — so the ratio
+isolates the *plan* difference (join order, window mechanism), the dual
+of ``bench_batched.py`` which isolates the engine. Matches must be
+byte-identical within each pair: the optimizer's contract is that
+rewrites never change output.
+
+The cells form an ablation (see ``repro.experiments.optimizer``):
+``AND-skew/o1-only`` is the control where the interval rule declines on
+the dense-left default order, ``AND-skew/reorder+o1`` shows the
+metrics-fed reorder unlocking it, and ``SEQ-wide/static`` shows the
+static W/slide heuristic alone. Hard speedup floors live in
+``tools/check_bench_regression.py``; this run enforces the
+machine-independent intra-pair rules (equal matches, optimizer never
+loses beyond noise) at any scale.
+"""
+
+from benchmarks.common import bench_scale, record, record_rows
+from repro.experiments import optimizer_speedup, render_figure
+
+
+def _pairs(rows):
+    cells = {}
+    for row in rows:
+        base = row.approach.removesuffix("+opt")
+        cells.setdefault((row.pattern, base, row.parameter), {})[
+            "opt" if row.approach.endswith("+opt") else "default"
+        ] = row
+    return cells
+
+
+def test_optimizer_speedup(benchmark):
+    rows = benchmark.pedantic(
+        lambda: optimizer_speedup(bench_scale()), rounds=1, iterations=1
+    )
+    cells = _pairs(rows)
+    report = render_figure(rows, "Plan optimizer vs default translation")
+    lines = ["plan speedup (optimized / default, identical output):"]
+    for (pattern, base, parameter), pair in sorted(cells.items()):
+        ratio = pair["opt"].throughput_tps / pair["default"].throughput_tps
+        lines.append(f"  {pattern:12s} {parameter:12s} {base:10s} {ratio:6.2f}x")
+    report += "\n\n" + "\n".join(lines)
+    record("optimizer", report)
+    record_rows("optimizer", rows)
+
+    for key, pair in sorted(cells.items()):
+        default, optimized = pair["default"], pair["opt"]
+        # Byte-identity is checked per event by the equivalence suite;
+        # equal match counts here sanity-check the measured runs.
+        assert optimized.matches == default.matches, key
+        assert optimized.events_in == default.events_in, key
+        # The optimizer must never lose to the default plan by more than
+        # measurement noise — including the declining control cell.
+        assert optimized.throughput_tps >= default.throughput_tps * 0.7, (
+            key, default.throughput_tps, optimized.throughput_tps
+        )

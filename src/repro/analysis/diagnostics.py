@@ -19,6 +19,7 @@ RA3xx  state boundedness (the O2 motivation, checked statically)
 RA4xx  partition safety (the O3 proof, replacing "trust the flag")
 RA5xx  UDF purity (nondeterminism, I/O, closed-over mutable state)
 RA6xx  recoverability (the checkpoint/recovery snapshot protocol)
+RA7xx  optimizer rewrite equivalence (plan-vs-plan invariants)
 ====== =========================================================
 """
 
@@ -78,6 +79,10 @@ CODES: dict[str, str] = {
     # recoverability
     "RA601": "stateful operator implements no snapshot/restore protocol",
     "RA602": "stateful operator implements only half the snapshot protocol",
+    # optimizer rewrite equivalence (plan-vs-plan invariants)
+    "RA701": "rewrite changed the plan's output composition (aliases)",
+    "RA702": "rewrite changed the predicate multiset",
+    "RA703": "rewrite changed window extents",
 }
 
 

@@ -12,9 +12,17 @@ Three layers:
   :meth:`~repro.asp.operators.base.Operator.collect_metrics`;
 * :mod:`~repro.asp.runtime.observability.report` — machine-readable run
   reports (``--metrics-json`` / ``repro metrics``) with p50/p95/p99
-  derived from bucket interpolation, never raw samples.
+  derived from bucket interpolation, never raw samples;
+* :mod:`~repro.asp.runtime.observability.costprofile` — the read side:
+  a :class:`CostProfile` parses a finished report back into per-operator
+  observations that feed the query optimizer's metrics-fed cost model.
 """
 
+from repro.asp.runtime.observability.costprofile import (
+    CostProfile,
+    JoinObservation,
+    ScanObservation,
+)
 from repro.asp.runtime.observability.operator_metrics import (
     LATENCY_SAMPLE_MASK,
     OperatorMetrics,
@@ -40,13 +48,16 @@ from repro.asp.runtime.observability.report import (
 )
 
 __all__ = [
+    "CostProfile",
     "Counter",
     "DEFAULT_LATENCY_BOUNDS",
     "Gauge",
     "Histogram",
+    "JoinObservation",
     "LATENCY_SAMPLE_MASK",
     "MetricsRegistry",
     "OperatorMetrics",
+    "ScanObservation",
     "ScopedMetrics",
     "load_report",
     "merge_metric_trees",

@@ -1,0 +1,155 @@
+"""Observed operator statistics, packaged for the plan optimizer.
+
+A :class:`CostProfile` is the read side of the observability layer: it
+parses a ``repro.metrics/v1`` report (written by ``run --metrics-json``)
+back into per-alias scan observations and per-join observations, so the
+metrics-fed cost model (:mod:`repro.mapping.optimizer.cost`) can price
+plans with measured selectivities instead of static guesses — the second
+run of a query plans better than the first.
+
+The profile deliberately knows nothing about plan trees: it exposes what
+was *observed* (keyed by the operator naming scheme the translator uses:
+``filter[<alias>]`` scans, join-kind operators in compile order) and the
+optimizer decides what to make of it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Operator scope format: ``<name>#<node-id>`` with translator-assigned
+#: names like ``filter[a]``; see ``StreamScan`` compilation.
+_FILTER_SCOPE = re.compile(r"^filter\[(?P<alias>.+)\]#\d+$")
+
+#: Metric ``kind`` values that identify a join operator in the report.
+_JOIN_KINDS = ("window-join", "interval-join", "multiway-join")
+
+
+@dataclass(frozen=True)
+class ScanObservation:
+    """What one run measured about a pushed-down scan filter."""
+
+    alias: str
+    events_in: int
+    events_out: int
+    selectivity: float
+
+
+@dataclass(frozen=True)
+class JoinObservation:
+    """What one run measured about one join, in compile order."""
+
+    kind: str
+    events_in: int
+    events_out: int
+    selectivity: float
+    state_peak_bytes: int
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Per-operator observations of one finished run.
+
+    ``duration_s`` is the event-time span proxy (pipeline seconds) used
+    to turn counts into rates; it may be zero for degenerate runs, in
+    which case raw counts still order streams by volume.
+    """
+
+    job_name: str = ""
+    events_in: int = 0
+    duration_s: float = 0.0
+    scans: Mapping[str, ScanObservation] = field(default_factory=dict)
+    joins: tuple[JoinObservation, ...] = ()
+
+    @classmethod
+    def from_report(cls, report: Mapping[str, Any]) -> "CostProfile":
+        """Parse a ``repro.metrics/v1`` report dict."""
+        job = report.get("job", {})
+        scans: dict[str, ScanObservation] = {}
+        joins: list[tuple[int, JoinObservation]] = []
+        for scope, op in report.get("operators", {}).items():
+            match = _FILTER_SCOPE.match(scope)
+            if match is not None and op.get("kind") == "filter":
+                alias = match.group("alias")
+                scans[alias] = ScanObservation(
+                    alias=alias,
+                    events_in=int(op.get("events_in", 0)),
+                    events_out=int(op.get("events_out", 0)),
+                    selectivity=float(op.get("selectivity", 0.0)),
+                )
+            elif op.get("kind") in _JOIN_KINDS:
+                # Scope ids increase in compile (post-)order, so sorting
+                # by id reproduces the plan's join order.
+                node_id = int(scope.rsplit("#", 1)[-1]) if "#" in scope else 0
+                joins.append(
+                    (
+                        node_id,
+                        JoinObservation(
+                            kind=str(op.get("kind", "")),
+                            events_in=int(op.get("events_in", 0)),
+                            events_out=int(op.get("events_out", 0)),
+                            selectivity=float(op.get("selectivity", 0.0)),
+                            state_peak_bytes=int(op.get("state_peak_bytes", 0)),
+                        ),
+                    )
+                )
+        return cls(
+            job_name=str(job.get("name", "")),
+            events_in=int(job.get("events_in", 0)),
+            duration_s=float(job.get("pipeline_seconds") or job.get("wall_seconds") or 0.0),
+            scans=scans,
+            joins=tuple(obs for _id, obs in sorted(joins, key=lambda pair: pair[0])),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CostProfile":
+        """Load from a ``--metrics-json`` report file (schema-checked)."""
+        from repro.asp.runtime.observability.report import load_report
+
+        return cls.from_report(load_report(path))
+
+    def scan(self, alias: str) -> ScanObservation | None:
+        """The observation for one scan alias, if that scan had filters.
+
+        Iteration scans are recorded per repetition (``v[1]``, ``v[2]``);
+        a bare-alias miss falls back to the first indexed repetition so a
+        profile from a join-mapped run still informs the O2 decision.
+        """
+        hit = self.scans.get(alias)
+        if hit is not None:
+            return hit
+        return self.scans.get(f"{alias}[1]")
+
+    def join(self, ordinal: int) -> JoinObservation | None:
+        """The ``ordinal``-th join of the run, in compile order."""
+        if 0 <= ordinal < len(self.joins):
+            return self.joins[ordinal]
+        return None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "job_name": self.job_name,
+            "events_in": self.events_in,
+            "duration_s": self.duration_s,
+            "scans": {
+                alias: {
+                    "events_in": obs.events_in,
+                    "events_out": obs.events_out,
+                    "selectivity": obs.selectivity,
+                }
+                for alias, obs in sorted(self.scans.items())
+            },
+            "joins": [
+                {
+                    "kind": obs.kind,
+                    "events_in": obs.events_in,
+                    "events_out": obs.events_out,
+                    "selectivity": obs.selectivity,
+                    "state_peak_bytes": obs.state_peak_bytes,
+                }
+                for obs in self.joins
+            ],
+        }

@@ -66,6 +66,13 @@ def run_report(result: RunResult) -> dict[str, Any]:
         # Static pre-flight findings (repro.analysis) share the report
         # surface with runtime observability.
         report["analysis"] = analysis
+    plan = result.metrics.get("plan")
+    if plan is not None:
+        # The chosen plan: operator tree, notes and — when the optimizer
+        # ran — the full rule trace with cost estimates, so the run's
+        # physical plan is auditable after the fact and the next run's
+        # ProfileCostModel knows what produced the numbers it reads.
+        report["plan"] = plan
     shards = result.metrics.get("shards")
     if shards is not None:
         report["shards"] = [
@@ -122,6 +129,13 @@ def render_metrics_summary(report: Mapping[str, Any]) -> str:
             f"  static analysis: {analysis.get('errors', 0)} error(s), "
             f"{analysis.get('warnings', 0)} warning(s)"
             + (f" [{codes}]" if codes else "")
+        )
+    trace = (report.get("plan") or {}).get("trace")
+    if trace:
+        fired = ", ".join(trace.get("fired", [])) or "none"
+        lines.append(
+            f"  optimizer: cost model '{trace.get('cost_model')}', "
+            f"fired rules: {fired}"
         )
     lines.append("")
     header = (

@@ -3,9 +3,12 @@
 Subcommands
 -----------
 
-``explain``   parse a pattern, print its logical plan and SQL view::
+``explain``   parse a pattern, print its logical plan and SQL view; with
+``--optimize`` also the per-rule rewrite trace (fired and declined rules,
+cost estimates, chosen vs rejected alternatives)::
 
     python -m repro explain -p "PATTERN SEQ(Q a, V b) WITHIN 15 MINUTES" --o1
+    python -m repro explain --catalog --optimize static
 
 ``generate``  write synthetic QnV / air-quality CSV streams::
 
@@ -57,6 +60,7 @@ from repro.cep.pattern_api import from_sea_pattern
 from repro.errors import ReproError, TranslationError
 from repro.mapping.advisor import recommend_options, statistics_from_streams
 from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.optimizer import OPTIMIZE_MODES, optimize_plan, resolve_cost_model
 from repro.mapping.rules import build_plan
 from repro.mapping.sql import render_sql
 from repro.mapping.translator import translate
@@ -103,15 +107,40 @@ def _streams_from_args(args: argparse.Namespace) -> dict[str, list]:
     return streams
 
 
-def cmd_explain(args: argparse.Namespace) -> int:
-    pattern = _pattern_from_args(args)
-    options = _options_from_args(args)
+def _explain_one(pattern, options, model, registry) -> None:
     print(pattern.render())
     plan = build_plan(pattern, options)
+    if model is not None:
+        plan = optimize_plan(plan, options, model, registry=registry)
     print()
     print(plan.explain())
+    if plan.trace is not None:
+        print()
+        print(plan.trace.render())
     print()
     print(render_sql(plan))
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    options = _options_from_args(args)
+    # The CLI has no stream data at explain time; the paper's six event
+    # types carry rate metadata so the static model stays informative.
+    from repro.asp.datamodel import TypeRegistry
+
+    registry = TypeRegistry.paper_default()
+    model = resolve_cost_model(args.optimize, registry, args.profile_from)
+    if getattr(args, "catalog", False):
+        from repro.patterns import CATALOG
+
+        for index, name in enumerate(sorted(CATALOG)):
+            if index:
+                print()
+                print("=" * 70)
+                print()
+            print(f"-- catalog query: {name}")
+            _explain_one(CATALOG[name](), options, model, registry)
+        return 0
+    _explain_one(_pattern_from_args(args), options, model, registry)
     return 0
 
 
@@ -163,12 +192,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     results = {}
     for engine in engines:
         if engine == "fasp":
+            translate_kwargs = {}
+            if args.optimize != "off":
+                from repro.asp.datamodel import TypeRegistry
+
+                translate_kwargs = {
+                    "registry": TypeRegistry.paper_default(),
+                    "optimize": args.optimize,
+                    "profile_from": args.profile_from,
+                }
+
             def fresh_query():
                 sources = {
                     t: ListSource(events, name=f"src[{t}]", event_type=t)
                     for t, events in streams.items()
                 }
-                return translate(pattern, sources, options)
+                return translate(pattern, sources, options, **translate_kwargs)
 
             backend = resolve_backend(
                 backend_spec,
@@ -181,6 +220,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
                 fault_plan = parse_fault_plan(args.fault_plan)
             query = fresh_query()
+            trace = getattr(query.plan, "trace", None)
+            if trace is not None:
+                fired = ", ".join(trace.fired_rules) or "no rules fired"
+                print(f"optimizer[{args.optimize}]: {fired}")
             run = query.execute(
                 backend=backend,
                 checkpoint_interval=getattr(args, "checkpoint_interval", None),
@@ -421,8 +464,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         p.add_argument("--multiway", action="store_true",
                        help="compose flat SEQ/AND with one n-ary window join")
 
+    def add_optimizer_args(p):
+        p.add_argument("--optimize", choices=OPTIMIZE_MODES, default="off",
+                       help="rule-based plan rewriting: 'static' uses "
+                            "registry heuristics, 'profile' feeds a prior "
+                            "run's metrics report into the cost model")
+        p.add_argument("--profile-from", metavar="METRICS_JSON",
+                       help="metrics report (run --metrics-json) backing "
+                            "--optimize profile")
+
     explain = sub.add_parser("explain", help="show the mapped plan and SQL")
     add_pattern_args(explain)
+    add_optimizer_args(explain)
+    explain.add_argument("--catalog", action="store_true",
+                         help="explain every pattern in the built-in catalog")
     explain.set_defaults(func=cmd_explain)
 
     generate = sub.add_parser("generate", help="write synthetic CSV streams")
@@ -436,6 +491,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="execute a pattern over CSV streams")
     add_pattern_args(run)
+    add_optimizer_args(run)
     run.add_argument("--stream", action="append", metavar="TYPE=PATH",
                      help="CSV stream per event type (repeatable)")
     run.add_argument("--engine", choices=("fasp", "fcep", "both"), default="fasp")

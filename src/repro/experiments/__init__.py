@@ -12,6 +12,7 @@ from repro.experiments.common import (
     seq_n_pattern,
 )
 from repro.experiments.batched import batched_speedup
+from repro.experiments.optimizer import optimizer_speedup
 from repro.experiments.fig3 import (
     fig3a_baseline,
     fig3b_selectivity,
@@ -39,7 +40,8 @@ __all__ = [
     "fig3e_iteration_consecutive", "fig3f_iteration_threshold", "fig4_keys",
     "fig4_memory_failure", "fig5_resources", "fig6_scalability", "LatencyRow", "latency_sweep", "render_latency",
     "iter4_pattern", "iter_consecutive_pattern", "iter_threshold_pattern",
-    "nseq_pattern", "qnv_aq_workload", "qnv_workload", "relative_speedups",
+    "nseq_pattern", "optimizer_speedup", "qnv_aq_workload", "qnv_workload",
+    "relative_speedups",
     "render_bars", "render_figure", "render_speedups", "render_table", "seq2_pattern",
     "seq7_pattern", "seq_n_pattern", "shape_checks", "table1_rows",
     "table2_rows",

@@ -1,8 +1,13 @@
 """The paper's core contribution: the general CEP-to-ASP operator mapping.
 
-``translate`` turns a SEA pattern into an executable ASP dataflow via a
-logical plan (Table 1 rules), with optimizations O1 (interval joins),
-O2 (aggregation-based iterations) and O3 (equi-join partitioning).
+``translate`` turns a SEA pattern into an executable ASP dataflow via
+explicit compiler phases: pattern AST → logical plan IR
+(:mod:`repro.mapping.optimizer.ir`) → optional rule-based rewrites
+(:mod:`repro.mapping.optimizer.rules`) → physical dataflow. The rewrites
+cover the paper's optimizations O1 (interval joins), O2
+(aggregation-based iterations) and O3 (equi-join partitioning) plus
+cost-driven join commutation; cost models live in
+:mod:`repro.mapping.optimizer.cost`.
 """
 
 from repro.mapping.advisor import (
@@ -13,11 +18,17 @@ from repro.mapping.advisor import (
 )
 from repro.mapping.multiquery import MultiQuery, translate_many
 from repro.mapping.optimizations import TranslationOptions, check_applicability
+from repro.mapping.optimizer import (
+    OPTIMIZE_MODES,
+    optimize_plan,
+    resolve_cost_model,
+)
 from repro.mapping.plan import (
     CountAggregate,
     JoinKind,
     LogicalPlan,
     NseqPrepare,
+    Permute,
     PlanNode,
     PostFilter,
     SchemaAlign,
@@ -31,8 +42,8 @@ from repro.mapping.sql import render_sql
 from repro.mapping.translator import TranslatedQuery, translate
 
 __all__ = [
-    "CountAggregate", "JoinKind", "LogicalPlan", "MultiQuery", "NseqPrepare", "PlanNode", "Recommendation", "StreamStatistics",
+    "CountAggregate", "JoinKind", "LogicalPlan", "MultiQuery", "NseqPrepare", "OPTIMIZE_MODES", "Permute", "PlanNode", "Recommendation", "StreamStatistics",
     "PostFilter", "SchemaAlign", "StreamScan", "TranslatedQuery",
     "TranslationOptions", "UnionAll", "WindowJoin", "WindowStrategy",
-    "build_plan", "check_applicability", "recommend_options", "render_sql", "statistics_from_streams", "translate", "translate_many",
+    "build_plan", "check_applicability", "optimize_plan", "recommend_options", "render_sql", "resolve_cost_model", "statistics_from_streams", "translate", "translate_many",
 ]

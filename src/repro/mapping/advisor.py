@@ -7,6 +7,15 @@ implements that advisor: given a pattern and per-stream statistics it
 recommends a :class:`TranslationOptions` configuration, with one
 human-readable reason per decision.
 
+The advisor consumes the compiler's IR: phase 1
+(:func:`~repro.mapping.optimizer.build.build_plan`) records
+:class:`~repro.mapping.optimizer.ir.PlanFeatures` — root kind, stream
+order, iteration specs, O3 candidates — and every decision below reads
+those features instead of re-traversing the pattern AST. Thresholds are
+shared with the rewrite rules (:mod:`repro.mapping.optimizer.cost`), so
+the advisor and the optimizer can never disagree about what "sparse"
+means.
+
 Decision rules distilled from the paper's evaluation (Sections 4.3,
 5.2.1, 5.2.3):
 
@@ -31,25 +40,22 @@ from dataclasses import dataclass, field, replace
 
 from repro.asp.datamodel import TypeRegistry
 from repro.mapping.optimizations import TranslationOptions
-from repro.mapping.plan import WindowStrategy
-from repro.sea.ast import (
-    Conjunction,
-    Iteration,
-    NegatedSequence,
-    Pattern,
-    PatternNode,
-    Sequence,
+from repro.mapping.optimizer.build import build_plan
+from repro.mapping.optimizer.cost import (
+    MANY_WINDOWS_THRESHOLD,
+    SPARSE_LEFT_RATIO,
 )
-from repro.sea.predicates import classify_conjuncts
-from repro.sea.validation import normalize_pattern
+from repro.mapping.optimizer.ir import WindowStrategy
+from repro.sea.ast import Pattern
 
-#: Frequency ratio beyond which the interval join's content-based window
-#: creation pays off (left stream at most 1/ratio of the right's rate).
-SPARSE_LEFT_RATIO = 2.0
-
-#: Windows-per-event count beyond which sliding windows start paying a
-#: noticeable duplicate-computation overhead (W / slide).
-MANY_WINDOWS_THRESHOLD = 30
+__all__ = [
+    "MANY_WINDOWS_THRESHOLD",
+    "Recommendation",
+    "SPARSE_LEFT_RATIO",
+    "StreamStatistics",
+    "recommend_options",
+    "statistics_from_streams",
+]
 
 
 @dataclass(frozen=True)
@@ -80,15 +86,6 @@ class Recommendation:
         return "\n".join(lines)
 
 
-def _first_type(node: PatternNode) -> str | None:
-    types = node.event_types()
-    return types[0] if types else None
-
-
-def _later_types(node: PatternNode) -> list[str]:
-    return node.event_types()[1:]
-
-
 def recommend_options(
     pattern: Pattern,
     statistics: dict[str, StreamStatistics] | None = None,
@@ -102,7 +99,10 @@ def recommend_options(
     statistics fall back to the registry's ``mean_period_ms`` metadata,
     and absent both, the corresponding heuristics stay neutral.
     """
-    pattern = normalize_pattern(pattern)
+    # Phase 1 of the compiler records everything shape-related once; the
+    # advisor reads the features instead of walking the AST again.
+    features = build_plan(pattern, TranslationOptions()).features
+    assert features is not None  # build_plan always records features
     statistics = dict(statistics or {})
     reasons: list[str] = []
     options = TranslationOptions()
@@ -118,7 +118,6 @@ def recommend_options(
         return None
 
     # -- O3: key partitioning ------------------------------------------------
-    _single, equi, _multi = classify_conjuncts(pattern.where)
     if partition_attribute is not None:
         options = replace(options, partition_attribute=partition_attribute)
         reasons.append(
@@ -128,7 +127,7 @@ def recommend_options(
         # stream carries would fail the RA402 pre-flight at translate time.
         from repro.analysis.schema import scan_schema
 
-        for event_type in sorted(set(pattern.root.event_types())):
+        for event_type in sorted(set(features.event_types)):
             info = scan_schema(event_type, registry)
             if info.closed and not info.resolves(partition_attribute):
                 reasons.append(
@@ -136,8 +135,8 @@ def recommend_options(
                     f"declared schema of '{event_type}' (RA402); O3 would be "
                     "rejected by the static pre-flight"
                 )
-    elif equi:
-        rendered = ", ".join(c.render() for c in equi)
+    elif features.equi_predicates:
+        rendered = ", ".join(features.equi_predicates)
         reasons.append(
             f"O3: key-match predicates present ({rendered}); Equi Joins "
             "partition by key and parallelize (Section 4.3.3)"
@@ -145,10 +144,8 @@ def recommend_options(
         # auto_equi_keys is on by default — nothing else to flip.
 
     # -- O2: aggregation-based iterations -----------------------------------------
-    iterations = [n for n in pattern.root.walk() if isinstance(n, Iteration)]
-    if iterations:
-        unbounded = any(n.minimum_occurrences for n in iterations)
-        if unbounded:
+    if features.iterations:
+        if features.has_unbounded_iteration:
             options = replace(options, iteration_strategy="aggregate")
             reasons.append(
                 "O2: unbounded (Kleene+) iteration has no join mapping "
@@ -168,13 +165,16 @@ def recommend_options(
             )
 
     # -- O1: interval vs sliding windows ----------------------------------------------
-    root = pattern.root
-    joins_needed = isinstance(root, (Sequence, Conjunction, NegatedSequence)) or (
-        iterations and options.iteration_strategy == "join"
+    joins_needed = features.joins_streams or (
+        features.iterations and options.iteration_strategy == "join"
     )
     if joins_needed:
-        first = _first_type(root)
-        later = [rate for t in _later_types(root) if (rate := rate_of(t)) is not None]
+        first = features.first_event_type
+        later = [
+            rate
+            for t in features.later_event_types
+            if (rate := rate_of(t)) is not None
+        ]
         first_rate = rate_of(first) if first else None
         windows_per_event = pattern.window.windows_per_event()
         if first_rate is not None and later and first_rate * SPARSE_LEFT_RATIO <= max(later):
@@ -199,7 +199,7 @@ def recommend_options(
             )
 
     # -- frequency-based reordering for commutative operators ----------------------------
-    if isinstance(root, Conjunction) and registry is not None:
+    if features.root_kind == "AND" and registry is not None:
         options = replace(options, reorder_by_frequency=True)
         reasons.append(
             "conjunction operands reorder by frequency: the sparsest "

@@ -30,8 +30,9 @@ from repro.asp.operators.source import Source
 from repro.asp.stream import StreamEnvironment, StreamHandle
 from repro.errors import TranslationError
 from repro.mapping.optimizations import TranslationOptions
-from repro.mapping.plan import LogicalPlan, StreamScan
-from repro.mapping.rules import build_plan
+from repro.mapping.optimizer import optimize_plan, resolve_cost_model
+from repro.mapping.optimizer.build import build_plan
+from repro.mapping.optimizer.ir import LogicalPlan, StreamScan
 from repro.mapping.translator import _Compiler
 from repro.sea.ast import Pattern
 
@@ -106,12 +107,21 @@ def translate_many(
     sources: Mapping[str, Source],
     options: TranslationOptions | Sequence[TranslationOptions] | None = None,
     sinks: Sequence[Sink] | None = None,
+    optimize: str = "off",
+    profile_from: str | None = None,
+    registry=None,
 ) -> MultiQuery:
     """Map a batch of patterns into one shared dataflow.
 
     ``options`` may be a single configuration applied to every pattern or
     one per pattern. Each pattern receives its own sink (``CollectSink``
-    by default, or the caller-provided ones).
+    by default, or the caller-provided ones). The batch goes through the
+    same compiler phases as :func:`~repro.mapping.translator.translate`:
+    build → (optional) rule-based rewrite → compile; ``optimize`` and
+    ``profile_from`` select the cost model exactly as on single-pattern
+    translation. Rewrites are applied per pattern *before* scan sharing,
+    so two patterns whose scans only coincide after filter reordering
+    still share one pipeline.
     """
     if not patterns:
         raise TranslationError("translate_many requires at least one pattern")
@@ -126,6 +136,8 @@ def translate_many(
     if sinks is not None and len(sinks) != len(patterns):
         raise TranslationError(f"{len(patterns)} patterns but {len(sinks)} sinks")
 
+    model = resolve_cost_model(optimize, registry, profile_from)
+
     env = StreamEnvironment(name=f"multi-query[{len(patterns)}]")
     shared_scans: dict = {}
     shared_source_handles: dict = {}
@@ -133,6 +145,8 @@ def translate_many(
     attached: list[Sink] = []
     for index, (pattern, opts) in enumerate(zip(patterns, per_pattern)):
         plan = build_plan(pattern, opts)
+        if model is not None:
+            plan = optimize_plan(plan, opts, model, registry=registry)
         plans.append(plan)
         compiler = _SharingCompiler(
             env, sources, shared_scans, shared_source_handles, opts

@@ -116,6 +116,32 @@ class TranslationOptions:
         return replace(self, slide_override=slide)
 
 
+def iteration_requires_aggregate(node: Iteration) -> bool:
+    """True when ``node`` has no join mapping and O2 is mandatory.
+
+    A bounded ``ITER^m`` has two physical mappings (m−1 self-joins, or
+    the O2 windowed count); an *unbounded* iteration (Kleene+) has no
+    join form — the paper maps it exclusively through O2's aggregate
+    (Section 4.3.2). This predicate is the single authority consulted by
+    phase 1 of the compiler, the applicability checker, the O2 rewrite
+    rule and the advisor, so they can never disagree about which
+    iterations are forced onto the aggregate path.
+    """
+    return bool(node.minimum_occurrences)
+
+
+def o2_threshold_met(count: float, minimum: int) -> bool:
+    """The O2 match threshold: ``γ_count(*) >= m`` (Section 4.3.2).
+
+    O2 emits a match only when the windowed count (or, for the UDF
+    flavour, the longest qualifying run) reaches the pattern's minimum
+    occurrence count ``m``. The comparison is *inclusive*; both physical
+    variants (plain count and sorted-window UDF) share this predicate so
+    they cannot disagree off-by-one at the boundary.
+    """
+    return count >= minimum
+
+
 def check_applicability(pattern: Pattern, options: TranslationOptions) -> list[str]:
     """Validate option/pattern combinations; returns advisory notes.
 
@@ -146,7 +172,7 @@ def check_applicability(pattern: Pattern, options: TranslationOptions) -> list[s
             )
 
     for node in root.walk():
-        if isinstance(node, Iteration) and node.minimum_occurrences:
+        if isinstance(node, Iteration) and iteration_requires_aggregate(node):
             if options.iteration_strategy != "aggregate":
                 notes.append(
                     "unbounded iteration (Kleene+) requires O2; switching the "

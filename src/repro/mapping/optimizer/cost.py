@@ -1,0 +1,363 @@
+"""Phase-2 cost models: pricing logical plans to drive rewrite decisions.
+
+Two implementations of one interface:
+
+* :class:`StaticCostModel` — heuristics only. Stream rates come from the
+  type registry's ``mean_period_ms`` metadata (when present); filter
+  selectivities from per-operator defaults (equality is selective, ranges
+  moderately so). This mirrors what the advisor always did.
+* :class:`ProfileCostModel` — metrics-fed. Wraps a
+  :class:`~repro.asp.runtime.observability.costprofile.CostProfile`
+  parsed from a prior run's ``repro.metrics/v1`` report, so observed
+  per-alias volumes and selectivities replace the guesses; anything the
+  profile did not observe falls back to the static model.
+
+The unit of ``rate`` is events per second when real rates are known and
+an arbitrary-but-consistent volume unit otherwise: every rewrite decision
+compares rates or costs against each other, never against absolute
+thresholds with physical units, so only ratios matter.
+
+:func:`estimate_plan` walks a plan bottom-up and produces a per-node
+:class:`NodeCost` plus a scalar total, using a coarse window-join model:
+a sliding join touches every event once per overlapping window
+(``W/slide`` of them) while an interval join (O1) creates one window per
+*left* event — which is exactly why putting the sparse stream on the
+left pays (paper Section 4.3.1, 5.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.asp.datamodel import TypeRegistry
+from repro.mapping.optimizer.ir import (
+    CountAggregate,
+    LogicalPlan,
+    MultiWayJoin,
+    NseqPrepare,
+    Permute,
+    PlanNode,
+    PostFilter,
+    SchemaAlign,
+    StreamScan,
+    UnionAll,
+    WindowJoin,
+    WindowStrategy,
+)
+from repro.sea.predicates import Compare, Predicate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.asp.runtime.observability.costprofile import CostProfile
+
+#: Default stream rate when neither registry metadata nor a profile says
+#: anything — neutral: all unknown streams price identically.
+DEFAULT_RATE = 1.0
+
+#: Heuristic filter selectivities by comparison operator. An equality
+#: pins an attribute to one value (selective); ranges keep a sizeable
+#: fraction; inequality excludes almost nothing.
+EQ_SELECTIVITY = 0.1
+RANGE_SELECTIVITY = 0.4
+NEQ_SELECTIVITY = 0.9
+DEFAULT_SELECTIVITY = 0.5
+
+#: Heuristic join-pair survival rates: an equi key keeps ~1/10 of pairs,
+#: the sequence order predicate ~1/2, other theta conjuncts ~1/2 each.
+EQUI_KEY_SELECTIVITY = 0.1
+ORDER_SELECTIVITY = 0.5
+THETA_SELECTIVITY = 0.5
+
+#: Frequency ratio beyond which the interval join's content-based window
+#: creation pays off (left stream at most 1/ratio of the right's rate).
+#: Shared by the O1 rewrite rule and the advisor — one authority.
+SPARSE_LEFT_RATIO = 2.0
+
+#: Windows-per-event count beyond which sliding windows start paying a
+#: noticeable duplicate-computation overhead (W / slide). Shared by the
+#: O1 rewrite rule and the advisor.
+MANY_WINDOWS_THRESHOLD = 30
+
+
+def predicate_selectivity(pred: Predicate) -> float:
+    """Heuristic survival fraction of one pushdown/theta conjunct."""
+    if isinstance(pred, Compare):
+        if pred.op == "=":
+            return EQ_SELECTIVITY
+        if pred.op in ("<", "<=", ">", ">="):
+            return RANGE_SELECTIVITY
+        if pred.op in ("!=", "<>"):
+            return NEQ_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+@dataclass(frozen=True)
+class NodeCost:
+    """Bottom-up cost summary of one plan node.
+
+    ``out_rate``: items leaving the node per unit time. ``cpu``: relative
+    work per unit time (comparisons, window touches). ``state``: relative
+    number of items buffered at once.
+    """
+
+    out_rate: float
+    cpu: float
+    state: float
+
+
+class CostModel:
+    """Interface shared by the static and the metrics-fed model."""
+
+    #: Identifier recorded in rule traces and metrics reports.
+    name = "abstract"
+
+    def scan_rate(self, scan: StreamScan) -> float | None:
+        """Raw (pre-filter) rate of the scanned stream; None if unknown."""
+        raise NotImplementedError
+
+    def scan_selectivity(self, scan: StreamScan) -> float:
+        """Fraction of scanned events surviving the pushdown filters."""
+        raise NotImplementedError
+
+    def join_selectivity(self, join: WindowJoin, ordinal: int) -> float:
+        """Fraction of in-window pairs surviving the join predicates.
+
+        ``ordinal`` is the join's position in plan walk order, letting a
+        profile-backed model align estimates with observed operators.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class StaticCostModel(CostModel):
+    """Heuristics only — rates from registry metadata, selectivities from
+    per-operator defaults. Deterministic given the same plan + registry."""
+
+    name = "static"
+
+    def __init__(self, registry: TypeRegistry | None = None):
+        self.registry = registry
+
+    def scan_rate(self, scan: StreamScan) -> float | None:
+        if self.registry is not None and scan.event_type in self.registry:
+            period = self.registry.get(scan.event_type).mean_period_ms
+            if period:
+                return 1000.0 / period
+        return None
+
+    def scan_selectivity(self, scan: StreamScan) -> float:
+        selectivity = 1.0
+        for pred in scan.filters:
+            selectivity *= predicate_selectivity(pred)
+        return selectivity
+
+    def join_selectivity(self, join: WindowJoin, ordinal: int) -> float:
+        selectivity = 1.0
+        if join.ordered:
+            selectivity *= ORDER_SELECTIVITY
+        for _key in join.equi_keys:
+            selectivity *= EQUI_KEY_SELECTIVITY
+        for _pred in join.extra_theta:
+            selectivity *= THETA_SELECTIVITY
+        return selectivity
+
+
+class ProfileCostModel(CostModel):
+    """Metrics-fed — observed volumes and selectivities from a prior run.
+
+    Scan rates come from the profile's per-alias filter counters
+    (``events_in`` over the run's duration); scan selectivities are the
+    observed pass fractions; join selectivities come from the run's join
+    operators matched by walk order. Unobserved *selectivities* fall back
+    to the wrapped static model (they are dimensionless); unobserved
+    *rates* stay unknown, because the registry's event-time rates are not
+    commensurable with the profile's wall-clock rates.
+    """
+
+    name = "profile"
+
+    def __init__(self, profile: "CostProfile", registry: TypeRegistry | None = None):
+        self.profile = profile
+        self.fallback = StaticCostModel(registry)
+
+    def _rate_scale(self) -> float:
+        return self.profile.duration_s if self.profile.duration_s > 0 else 1.0
+
+    def scan_rate(self, scan: StreamScan) -> float | None:
+        obs = self.profile.scan(scan.alias)
+        if obs is not None and obs.events_in > 0:
+            return obs.events_in / self._rate_scale()
+        # No static fallback here, deliberately: profile rates are in
+        # wall-clock units, the registry's are in event time. Comparing
+        # one side's observed rate against the other side's registry rate
+        # would invent orders-of-magnitude phantom skew and misfire the
+        # reorder/O1 rules. Unknown beats wrong — rate-driven rules
+        # decline unless every scan they compare was observed.
+        return None
+
+    def scan_selectivity(self, scan: StreamScan) -> float:
+        obs = self.profile.scan(scan.alias)
+        if obs is not None and obs.events_in > 0:
+            return obs.selectivity
+        return self.fallback.scan_selectivity(scan)
+
+    def join_selectivity(self, join: WindowJoin, ordinal: int) -> float:
+        obs = self.profile.join(ordinal)
+        if obs is not None and obs.events_in > 0:
+            return obs.selectivity
+        return self.fallback.join_selectivity(join, ordinal)
+
+    def describe(self) -> str:
+        job = self.profile.job_name
+        return f"profile({job})" if job else "profile"
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Result of :func:`estimate_plan`: per-node costs in walk order."""
+
+    nodes: tuple[tuple[str, NodeCost], ...]
+    total_cpu: float
+    total_state: float
+
+    def summary(self) -> str:
+        return f"cpu={self.total_cpu:.3g} state={self.total_state:.3g}"
+
+
+def _window_seconds(size_ms: int) -> float:
+    return max(size_ms, 1) / 1000.0
+
+
+def estimate_node(
+    node: PlanNode,
+    model: CostModel,
+    cache: dict[int, NodeCost],
+    join_ordinals: Mapping[int, int],
+) -> NodeCost:
+    """Bottom-up cost of one node (memoized by object identity)."""
+    hit = cache.get(id(node))
+    if hit is not None:
+        return hit
+    children = [estimate_node(c, model, cache, join_ordinals) for c in node.inputs()]
+
+    if isinstance(node, StreamScan):
+        rate = model.scan_rate(node)
+        in_rate = rate if rate is not None else DEFAULT_RATE
+        out = in_rate * model.scan_selectivity(node)
+        cost = NodeCost(out_rate=out, cpu=in_rate * max(len(node.filters), 1), state=0.0)
+    elif isinstance(node, WindowJoin):
+        left, right = children
+        window = _window_seconds(node.window_size)
+        pairs = left.out_rate * right.out_rate * window
+        selectivity = model.join_selectivity(node, join_ordinals.get(id(node), 0))
+        if node.strategy is WindowStrategy.INTERVAL:
+            # O1: one content-based window per left event; every event is
+            # touched once, pairs are enumerated within the interval.
+            cpu = left.out_rate + right.out_rate + pairs
+            state = (left.out_rate + right.out_rate) * window
+        else:
+            # Sliding: every event lands in W/slide overlapping windows
+            # and the pair enumeration repeats per window (the duplicate
+            # computation O1 removes).
+            windows_per_event = max(node.window_size // max(node.window_slide, 1), 1)
+            cpu = (left.out_rate + right.out_rate) * windows_per_event + pairs
+            state = (left.out_rate + right.out_rate) * window * windows_per_event
+        cost = NodeCost(out_rate=pairs * selectivity, cpu=cpu, state=state)
+    elif isinstance(node, MultiWayJoin):
+        window = _window_seconds(node.window_size)
+        rates = [c.out_rate for c in children]
+        pairs = 1.0
+        for rate in rates:
+            pairs *= max(rate * window, 1e-9)
+        pairs /= window  # n-tuples per second
+        cpu = sum(rates) + pairs
+        state = sum(rates) * window
+        selectivity = ORDER_SELECTIVITY if node.ordered else 1.0
+        if node.key_attribute:
+            selectivity *= EQUI_KEY_SELECTIVITY
+        cost = NodeCost(out_rate=pairs * selectivity, cpu=cpu, state=state)
+    elif isinstance(node, CountAggregate):
+        (inner,) = children
+        window = _window_seconds(node.window_size)
+        # One output per (key, window) at most: bounded by the slide rate.
+        slide_s = max(node.window_slide, 1) / 1000.0
+        cost = NodeCost(
+            out_rate=min(1.0 / slide_s, inner.out_rate),
+            cpu=inner.out_rate,
+            state=inner.out_rate * window,
+        )
+    elif isinstance(node, NseqPrepare):
+        first, negated = children
+        window = _window_seconds(node.window_size)
+        cost = NodeCost(
+            out_rate=first.out_rate,
+            cpu=first.out_rate + negated.out_rate,
+            state=(first.out_rate + negated.out_rate) * window,
+        )
+    elif isinstance(node, UnionAll):
+        out = sum(c.out_rate for c in children)
+        cost = NodeCost(out_rate=out, cpu=out, state=0.0)
+    elif isinstance(node, PostFilter):
+        (inner,) = children
+        selectivity = 1.0
+        for pred in node.predicates:
+            selectivity *= predicate_selectivity(pred)
+        cost = NodeCost(out_rate=inner.out_rate * selectivity, cpu=inner.out_rate, state=0.0)
+    elif isinstance(node, (SchemaAlign, Permute)):
+        (inner,) = children
+        cost = NodeCost(out_rate=inner.out_rate, cpu=inner.out_rate, state=0.0)
+    else:
+        inner_rate = children[0].out_rate if children else DEFAULT_RATE
+        cost = NodeCost(out_rate=inner_rate, cpu=inner_rate, state=0.0)
+
+    cache[id(node)] = cost
+    return cost
+
+
+def _join_ordinals(root: PlanNode) -> dict[int, int]:
+    """Joins numbered in *compile* order (post-order, left before right),
+    matching the operator-scope numbering of the metrics report."""
+    ordinals: dict[int, int] = {}
+
+    def visit(node: PlanNode) -> None:
+        for child in node.inputs():
+            visit(child)
+        if isinstance(node, WindowJoin):
+            ordinals[id(node)] = len(ordinals)
+
+    visit(root)
+    return ordinals
+
+
+def estimate_plan(plan: LogicalPlan, model: CostModel) -> PlanCost:
+    """Price a whole plan; per-node costs listed in walk (pre-)order."""
+    cache: dict[int, NodeCost] = {}
+    ordinals = _join_ordinals(plan.root)
+    estimate_node(plan.root, model, cache, ordinals)
+    nodes = tuple((node.label(), cache[id(node)]) for node in plan.root.walk())
+    return PlanCost(
+        nodes=nodes,
+        total_cpu=sum(cost.cpu for _label, cost in nodes),
+        total_state=sum(cost.state for _label, cost in nodes),
+    )
+
+
+def subtree_out_rate(node: PlanNode, model: CostModel) -> float:
+    """Estimated output rate of one subtree (used by reorder decisions)."""
+    cache: dict[int, NodeCost] = {}
+    return estimate_node(node, model, cache, _join_ordinals(node)).out_rate
+
+
+def subtree_rate_known(node: PlanNode, model: CostModel) -> bool:
+    """True when every scan under ``node`` has a model-known rate.
+
+    Reorder rules decline on unknown rates rather than shuffle plans on
+    the neutral :data:`DEFAULT_RATE` placeholder.
+    """
+    return all(
+        model.scan_rate(scan) is not None
+        for scan in node.walk()
+        if isinstance(scan, StreamScan)
+    )

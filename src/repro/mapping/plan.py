@@ -1,299 +1,45 @@
-"""Logical ASP query plans — the target of the operator mapping.
+"""Compatibility shim — the plan IR lives in :mod:`repro.mapping.optimizer.ir`.
 
-The translator (Section 4 of the paper) rewrites a SEA pattern into a
-relational-style plan over streams. The plan is an intermediate
-representation between the pattern AST and the physical dataflow:
-
-* :mod:`repro.mapping.rules` builds plans from patterns (Table 1),
-* :mod:`repro.mapping.sql` renders plans as the SQL-ish listings of the
-  paper (Listings 4, 6, 8),
-* :mod:`repro.mapping.translator` compiles plans to executable dataflows
-  on the :mod:`repro.asp` engine.
-
-Every node tracks the positional ``aliases`` of the events its output
-items are composed of, so predicates can be evaluated against composed
-matches at any plan position.
+The multi-phase query compiler (DESIGN.md §11) moved the logical plan
+node classes into the ``repro.mapping.optimizer`` package, where phase 1
+(:mod:`~repro.mapping.optimizer.build`) constructs them and phase 2
+(:mod:`~repro.mapping.optimizer.rules`) rewrites them. This module
+re-exports the IR under its historical import path so existing callers
+(``from repro.mapping.plan import LogicalPlan``) keep working.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-from enum import Enum
-from typing import Iterator
-
-from repro.sea.predicates import Predicate
-
-
-class JoinKind(Enum):
-    """Logical join flavour (paper Table 1)."""
-
-    CROSS = "cross"     # Cartesian product ×  (conjunction)
-    THETA = "theta"     # Theta Join ⋈θ        (sequence / iteration)
-    EQUI = "equi"       # Equi Join ⋈c         (optimization O3)
-
-
-class WindowStrategy(Enum):
-    """Physical windowing of a join (Section 4.3.1)."""
-
-    SLIDING = "sliding"    # explicit sliding windows, Eq. 4/5
-    INTERVAL = "interval"  # optimization O1
-
-
-@dataclass(frozen=True)
-class PlanNode:
-    """Base class; ``aliases`` is the positional event composition."""
-
-    @property
-    def aliases(self) -> tuple[str, ...]:
-        raise NotImplementedError
-
-    def inputs(self) -> tuple["PlanNode", ...]:
-        return ()
-
-    def walk(self) -> Iterator["PlanNode"]:
-        yield self
-        for node in self.inputs():
-            yield from node.walk()
-
-    def label(self) -> str:
-        return type(self).__name__
-
-
-@dataclass(frozen=True)
-class StreamScan(PlanNode):
-    """Leaf: one event type with pushed-down single-alias filters."""
-
-    event_type: str
-    alias: str
-    filters: tuple[Predicate, ...] = ()
-
-    @property
-    def aliases(self) -> tuple[str, ...]:
-        return (self.alias,)
-
-    def label(self) -> str:
-        suffix = f" σ[{' ∧ '.join(p.render() for p in self.filters)}]" if self.filters else ""
-        return f"Scan({self.event_type} {self.alias}){suffix}"
-
-
-@dataclass(frozen=True)
-class SchemaAlign(PlanNode):
-    """Map establishing union compatibility (disjunction mapping)."""
-
-    input: PlanNode
-    target_type: str
-
-    @property
-    def aliases(self) -> tuple[str, ...]:
-        return self.input.aliases
-
-    def inputs(self) -> tuple[PlanNode, ...]:
-        return (self.input,)
-
-    def label(self) -> str:
-        return f"Map[align → {self.target_type}]"
-
-
-@dataclass(frozen=True)
-class UnionAll(PlanNode):
-    """Set union ∪ — the disjunction mapping (Eq. 11 ≡ relational union)."""
-
-    parts: tuple[PlanNode, ...]
-
-    @property
-    def aliases(self) -> tuple[str, ...]:
-        # Disjunction emits single events; by convention the alias of the
-        # first operand names the unified stream.
-        return self.parts[0].aliases
-
-    def inputs(self) -> tuple[PlanNode, ...]:
-        return self.parts
-
-    def label(self) -> str:
-        return f"Union[{len(self.parts)}]"
-
-
-@dataclass(frozen=True)
-class WindowJoin(PlanNode):
-    """Binary window join.
-
-    ``ordered=True`` adds the sequence theta predicate
-    ``max(left.ts) < min(right.ts)`` (Eq. 10); ``equi_keys`` holds
-    attribute pairs ``(left_attr_of_alias, right_attr_of_alias)`` driving
-    O3 partitioning; ``extra_theta`` are WHERE conjuncts evaluable once
-    both sides are available; ``iter_condition_alias_pair`` optionally
-    names the consecutive-pair condition of an iteration.
-    """
-
-    left: PlanNode
-    right: PlanNode
-    kind: JoinKind
-    strategy: WindowStrategy
-    ordered: bool
-    window_size: int
-    window_slide: int
-    equi_keys: tuple[tuple[tuple[str, str], tuple[str, str]], ...] = ()
-    extra_theta: tuple[Predicate, ...] = ()
-    emit_ts: str = "min"
-    #: Opaque inter-event condition of an iteration self-join, applied to
-    #: (last event of left, first event of right). Not renderable to SQL;
-    #: shown as a note instead.
-    consecutive_condition: object | None = None
-
-    @property
-    def aliases(self) -> tuple[str, ...]:
-        return self.left.aliases + self.right.aliases
-
-    def inputs(self) -> tuple[PlanNode, ...]:
-        return (self.left, self.right)
-
-    def label(self) -> str:
-        symbol = {JoinKind.CROSS: "×", JoinKind.THETA: "⋈θ", JoinKind.EQUI: "⋈c"}[self.kind]
-        strategy = "interval" if self.strategy is WindowStrategy.INTERVAL else "sliding"
-        order = " ordered" if self.ordered else ""
-        keys = ""
-        if self.equi_keys:
-            keys = " keys[" + ", ".join(
-                f"{l[0]}.{l[1]}={r[0]}.{r[1]}" for l, r in self.equi_keys
-            ) + "]"
-        return f"Join{symbol}[{strategy}{order}{keys}]"
-
-
-@dataclass(frozen=True)
-class MultiWayJoin(PlanNode):
-    """n-ary window join — the Beam-only form of Listing 8.
-
-    Available when every operand is a plain scan and the translator's
-    ``use_multiway_joins`` option is set (paper Section 4.2.2: only Beam
-    supports composing more than two streams per Window Join; other
-    ASPSs fall back to consecutive binary joins).
-    """
-
-    parts: tuple[StreamScan, ...]
-    ordered: bool
-    window_size: int
-    window_slide: int
-    key_attribute: str | None = None
-    extra_theta: tuple[Predicate, ...] = ()
-
-    @property
-    def aliases(self) -> tuple[str, ...]:
-        out: tuple[str, ...] = ()
-        for part in self.parts:
-            out = out + part.aliases
-        return out
-
-    def inputs(self) -> tuple[PlanNode, ...]:
-        return self.parts
-
-    def label(self) -> str:
-        symbol = " ⋈ " if self.ordered else " × "
-        key = f" by {self.key_attribute}" if self.key_attribute else ""
-        return f"MultiWayJoin[{symbol.join(p.event_type for p in self.parts)}{key}]"
-
-
-@dataclass(frozen=True)
-class CountAggregate(PlanNode):
-    """Windowed count with threshold — the O2 iteration mapping.
-
-    Emits one approximate match per (key, window) with at least
-    ``minimum`` qualifying events (``γ_count(*)(T)`` then ``count >= m``).
-    """
-
-    input: PlanNode
-    minimum: int
-    window_size: int
-    window_slide: int
-    key_attribute: str | None = None
-    #: "count" or "udf" (the UDF variant restoring inter-event conditions).
-    flavour: str = "count"
-    #: Opaque inter-event condition for the UDF flavour.
-    condition: object | None = None
-
-    @property
-    def aliases(self) -> tuple[str, ...]:
-        # The aggregate output is a synthetic event, not a composition.
-        return (f"{self.input.aliases[0]}#agg",)
-
-    def inputs(self) -> tuple[PlanNode, ...]:
-        return (self.input,)
-
-    def label(self) -> str:
-        key = f" by {self.key_attribute}" if self.key_attribute else ""
-        return f"γ{self.flavour}(*) >= {self.minimum}{key}"
-
-
-@dataclass(frozen=True)
-class NseqPrepare(PlanNode):
-    """Union(T1, T2) + next-occurrence UDF of the NSEQ mapping.
-
-    Output events are the T1 events enriched with ``a_ts``; the following
-    ordered join with T3 adds the selection ``a_ts > e3.ts``.
-    """
-
-    first: StreamScan
-    negated: StreamScan
-    window_size: int
-    keyed: bool = False
-
-    @property
-    def aliases(self) -> tuple[str, ...]:
-        return (self.first.alias,)
-
-    def inputs(self) -> tuple[PlanNode, ...]:
-        return (self.first, self.negated)
-
-    def label(self) -> str:
-        return f"UDF[next {self.negated.event_type} after {self.first.event_type} within W]"
-
-
-@dataclass(frozen=True)
-class PostFilter(PlanNode):
-    """Residual WHERE conjuncts applied to composed matches."""
-
-    input: PlanNode
-    predicates: tuple[Predicate, ...]
-
-    @property
-    def aliases(self) -> tuple[str, ...]:
-        return self.input.aliases
-
-    def inputs(self) -> tuple[PlanNode, ...]:
-        return (self.input,)
-
-    def label(self) -> str:
-        return f"σ[{' ∧ '.join(p.render() for p in self.predicates)}]"
-
-
-@dataclass(frozen=True)
-class LogicalPlan:
-    """Root container: the plan plus bookkeeping for reporting."""
-
-    root: PlanNode
-    pattern_name: str
-    window_size: int
-    window_slide: int
-    notes: tuple[str, ...] = field(default_factory=tuple)
-
-    def explain(self) -> str:
-        """Indented operator-tree rendering."""
-        lines: list[str] = [f"LogicalPlan[{self.pattern_name}]"]
-
-        def visit(node: PlanNode, depth: int) -> None:
-            lines.append("  " * depth + "- " + node.label())
-            for child in node.inputs():
-                visit(child, depth + 1)
-
-        visit(self.root, 1)
-        for note in self.notes:
-            lines.append(f"  note: {note}")
-        return "\n".join(lines)
-
-    def operators(self) -> list[PlanNode]:
-        return list(self.root.walk())
-
-    def num_joins(self) -> int:
-        return sum(1 for n in self.root.walk() if isinstance(n, WindowJoin))
-
-    def scans(self) -> list[StreamScan]:
-        return [n for n in self.root.walk() if isinstance(n, StreamScan)]
+from repro.mapping.optimizer.ir import (
+    CountAggregate,
+    IterationInfo,
+    JoinKind,
+    LogicalPlan,
+    MultiWayJoin,
+    NseqPrepare,
+    Permute,
+    PlanFeatures,
+    PlanNode,
+    PostFilter,
+    SchemaAlign,
+    StreamScan,
+    UnionAll,
+    WindowJoin,
+    WindowStrategy,
+)
+
+__all__ = [
+    "CountAggregate",
+    "IterationInfo",
+    "JoinKind",
+    "LogicalPlan",
+    "MultiWayJoin",
+    "NseqPrepare",
+    "Permute",
+    "PlanFeatures",
+    "PlanNode",
+    "PostFilter",
+    "SchemaAlign",
+    "StreamScan",
+    "UnionAll",
+    "WindowJoin",
+    "WindowStrategy",
+]

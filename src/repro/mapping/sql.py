@@ -22,6 +22,7 @@ from repro.mapping.plan import (
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
+    Permute,
     PlanNode,
     PostFilter,
     SchemaAlign,
@@ -47,6 +48,16 @@ def _collect(node: PlanNode, tables: list[str], where: list[str], notes: list[st
     if isinstance(node, SchemaAlign):
         _collect(node.input, tables, where, notes)
         notes.append(f"map: align schema to {node.target_type}")
+        return
+    if isinstance(node, Permute):
+        # Join commutation (optimizer) swaps execution order only; the
+        # declarative SELECT lists columns in canonical pattern order, so
+        # the permutation is invisible here beyond a note.
+        _collect(node.input, tables, where, notes)
+        notes.append(
+            "optimizer: join inputs commuted for execution; output restored "
+            "to pattern order"
+        )
         return
     if isinstance(node, PostFilter):
         _collect(node.input, tables, where, notes)

@@ -23,12 +23,16 @@ from repro.asp.operators.source import Source
 from repro.asp.operators.window import IntervalBounds, WindowSpec
 from repro.asp.stream import StreamEnvironment, StreamHandle
 from repro.errors import TranslationError
-from repro.mapping.optimizations import TranslationOptions
-from repro.mapping.plan import (
+from repro.mapping.optimizations import TranslationOptions, o2_threshold_met
+from repro.mapping.optimizer import optimize_plan, resolve_cost_model
+from repro.mapping.optimizer.build import build_plan
+from repro.mapping.optimizer.cost import CostModel
+from repro.mapping.optimizer.ir import (
     CountAggregate,
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
+    Permute,
     PlanNode,
     PostFilter,
     SchemaAlign,
@@ -37,7 +41,6 @@ from repro.mapping.plan import (
     WindowJoin,
     WindowStrategy,
 )
-from repro.mapping.rules import build_plan
 from repro.sea.ast import Pattern
 from repro.sea.predicates import Predicate, compile_check
 
@@ -167,6 +170,8 @@ class _Compiler:
             return self._compile_nseq_prepare(node)
         if isinstance(node, PostFilter):
             return self._compile_post_filter(node)
+        if isinstance(node, Permute):
+            return self._compile_permute(node)
         raise TranslationError(f"cannot compile plan node {node.label()}")
 
     def _compile_scan(self, node: StreamScan) -> StreamHandle:
@@ -289,7 +294,7 @@ class _Compiler:
                     prev = cur
                     if run > best:
                         best = run
-                return [float(best)] if best >= minimum else []
+                return [float(best)] if o2_threshold_met(best, minimum) else []
 
             return source.window_udf(
                 window, run_udf, key_fn=key_fn, output_type=output_type
@@ -299,7 +304,8 @@ class _Compiler:
         )
         minimum = node.minimum
         return aggregated.filter(
-            lambda item: item.value >= minimum, name=f"count>={minimum}"
+            lambda item: o2_threshold_met(item.value, minimum),
+            name=f"count>={minimum}",
         )
 
     def _compile_nseq_prepare(self, node: NseqPrepare) -> StreamHandle:
@@ -311,6 +317,22 @@ class _Compiler:
             negated_type=node.negated.event_type,
             window_size=node.window_size,
             keyed=node.keyed,
+        )
+
+    def _compile_permute(self, node: Permute) -> StreamHandle:
+        """Stateless map restoring the canonical constituent order after a
+        join reorder, so every match keeps its original ``dedup_key``."""
+        source = self.compile(node.input)
+        order = node.order
+
+        def permute(item: Item) -> Item:
+            if not isinstance(item, ComplexEvent):
+                return item
+            events = tuple(item.events[i] for i in order)
+            return ComplexEvent(events, detection_ts=item.detection_ts, ts=item.ts)
+
+        return source.map(
+            permute, name=f"permute[{','.join(map(str, order))}]"
         )
 
     def _compile_post_filter(self, node: PostFilter) -> StreamHandle:
@@ -388,6 +410,9 @@ class TranslatedQuery:
             # Static analysis and runtime observability share one
             # machine-readable surface (the repro.metrics/v1 report).
             result.metrics["analysis"] = self.analysis.summary()
+        # The chosen plan (and its rule trace, when the optimizer ran)
+        # rides along so a finished run is auditable after the fact.
+        result.metrics["plan"] = self.plan.summary()
         return result
 
     def matches(self) -> list[ComplexEvent]:
@@ -449,18 +474,47 @@ def translate(
     options: TranslationOptions | None = None,
     registry: TypeRegistry | None = None,
     analyze: bool = True,
+    optimize: str = "off",
+    profile_from: str | None = None,
+    cost_model: CostModel | None = None,
+    allow_approximate: bool = False,
+    rules=None,
 ) -> TranslatedQuery:
     """Map a CEP pattern onto an executable ASP dataflow (Section 4).
+
+    The multi-phase compiler: phase 1 builds the logical plan (Table 1),
+    phase 2 — enabled with ``optimize="static"`` or ``"profile"``, or by
+    passing a ``cost_model`` directly — applies the rewrite rules of
+    :mod:`repro.mapping.optimizer` under that cost model
+    (``profile_from`` names the prior run's metrics report feeding the
+    ``profile`` model), and the remaining phases compile the plan to a
+    dataflow. Optimized plans stay byte-identical in output to the
+    default plan unless ``allow_approximate`` opts into O2.
 
     Unless ``analyze=False``, the static plan verifier
     (:mod:`repro.analysis`) pre-flights the result — schema resolution,
     window sanity, state boundedness, O3 partition safety and UDF purity
     — and raises :class:`~repro.errors.StaticAnalysisError` (a
     :class:`TranslationError`) on error-level findings, so a statically
-    unsafe plan never reaches execution.
+    unsafe plan never reaches execution. The verifier sees the
+    *optimized* plan: what it certifies is what runs.
     """
     options = options or TranslationOptions()
     plan = build_plan(pattern, options, registry=registry)
+    model = (
+        cost_model
+        if cost_model is not None
+        else resolve_cost_model(optimize, registry, profile_from)
+    )
+    if model is not None:
+        plan = optimize_plan(
+            plan,
+            options,
+            model,
+            registry=registry,
+            allow_approximate=allow_approximate,
+            rules=rules,
+        )
     env = StreamEnvironment(name=f"{pattern.name}[{options.label()}]")
     compiler = _Compiler(env, sources, plan, options)
     output = compiler.compile(plan.root)

@@ -111,14 +111,20 @@ def run_fasp(
     fault_plan=None,
     batch_size: int = 1,
     fusion: bool = False,
+    translate_kwargs: dict | None = None,
 ) -> tuple[ThroughputMeasurement, Sink, RunResult]:
     """Run the pattern through the CEP-to-ASP mapping.
 
     A sharded ``backend`` requires O3 (``partition_attribute``) so that
     every stateful operator in the mapped plan is keyed.
+    ``translate_kwargs`` passes extra arguments through to
+    :func:`~repro.mapping.translator.translate` — e.g. ``optimize`` /
+    ``cost_model`` to measure the plan optimizer's effect.
     """
     options = options or TranslationOptions()
-    query = translate(pattern, _sources_of(streams), options)
+    query = translate(
+        pattern, _sources_of(streams), options, **(translate_kwargs or {})
+    )
     if sink is None:
         sink = CollectSink() if collect else DiscardSink()
     sink = query.attach_sink(sink)

@@ -303,9 +303,12 @@ class TestShardedRollup:
         pattern = parse_pattern(KEYED)
         query = translate(pattern, _sources(_events()), TranslationOptions.o3())
         result = query.execute(backend=ShardedBackend(shards=2, mode="inline"))
-        # "analysis" is the static pre-flight summary translate() attaches.
-        assert set(result.metrics) == {"operators", "shards", "analysis"}
+        # "analysis" is the static pre-flight summary translate() attaches;
+        # "plan" records which logical plan (and fired rewrite rules)
+        # produced this run, so profile-fed replanning can trust reports.
+        assert set(result.metrics) == {"operators", "shards", "analysis", "plan"}
         assert result.metrics["analysis"]["ok"] is True
+        assert result.metrics["plan"]["pattern"] == pattern.name
         tree = result.metrics["operators"]
         scope = next(iter(tree))
         assert tree[scope]["events_in"]["type"] == "counter"

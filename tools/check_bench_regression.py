@@ -116,6 +116,72 @@ def check_batched_cells(summary: dict) -> list[str]:
     return breaches
 
 
+#: Cells where the plan optimizer must beat the default translation by at
+#: least this factor at full scale, keyed by (pattern, parameter). The
+#: ISSUE acceptance criterion: a multiway AND cell whose win comes from
+#: join reordering under the metrics-fed cost model (measured ~2x; the
+#: o1-only sibling is the ablation control showing the interval rule
+#: alone declines), plus the static W/slide interval switch (~9x).
+OPTIMIZER_SPEEDUP_FLOORS = {
+    ("AND-skew", "reorder+o1"): 1.25,
+    ("SEQ-wide", "static"): 2.0,
+}
+#: Every other optimized cell — including the deliberately-declining
+#: control — must hold parity: the optimizer never loses beyond noise.
+OPTIMIZER_PARITY_FLOOR = 0.7
+OPTIMIZER_FULL_SCALE_EVENTS = 20_000
+
+
+def check_optimizer_cells(summary: dict) -> list[str]:
+    """Intra-summary rule: every ``X+opt`` cell vs its sibling ``X``.
+
+    Same machine-independence argument as :func:`check_batched_cells`:
+    both cells of a pair come from the same run, so the ratio is a pure
+    plan-quality measurement. Equal match counts are a hard requirement —
+    an optimized plan that changes output is a correctness bug, not a
+    perf regression.
+    """
+    breaches: list[str] = []
+    for experiment, payload in sorted(summary.get("experiments", {}).items()):
+        cells = payload.get("cells", {})
+        full_scale = payload.get("events", 0) >= OPTIMIZER_FULL_SCALE_EVENTS
+        for key, cell in sorted(cells.items()):
+            pattern, approach, parameter = key.split("|")
+            if not approach.endswith("+opt"):
+                continue
+            sibling_key = f"{pattern}|{approach.removesuffix('+opt')}|{parameter}"
+            sibling = cells.get(sibling_key)
+            if sibling is None:
+                breaches.append(
+                    f"{experiment}/{key}: no default-plan sibling cell {sibling_key}"
+                )
+                continue
+            if cell.get("matches") != sibling.get("matches"):
+                breaches.append(
+                    f"{experiment}/{key}: matches {cell.get('matches')} != "
+                    f"default-plan sibling {sibling.get('matches')} -- the "
+                    "optimized plan changed the output (correctness regression)"
+                )
+                continue
+            default_tps = sibling.get("throughput_tps") or 0.0
+            opt_tps = cell.get("throughput_tps") or 0.0
+            if default_tps <= 0 or opt_tps <= 0:
+                continue
+            floor = OPTIMIZER_PARITY_FLOOR
+            if full_scale:
+                floor = OPTIMIZER_SPEEDUP_FLOORS.get(
+                    (pattern, parameter), OPTIMIZER_PARITY_FLOOR
+                )
+            ratio = opt_tps / default_tps
+            if ratio < floor:
+                breaches.append(
+                    f"{experiment}/{key}: optimized plan {ratio:.2f}x the "
+                    f"default sibling (floor {floor:.2f}x) -- the rewrite "
+                    "lost its advantage"
+                )
+    return breaches
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("summary", type=Path, help="summary.json produced by the benchmark run")
@@ -154,7 +220,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline_cells = {(exp, key): cell for exp, key, cell in iter_cells(baseline)}
 
     skipped = 0
-    breaches = check_batched_cells(summary)
+    breaches = check_batched_cells(summary) + check_optimizer_cells(summary)
     ratios: dict[tuple[str, str], float] = {}
     for experiment, key, cell in iter_cells(summary):
         reference = baseline_cells.get((experiment, key))
