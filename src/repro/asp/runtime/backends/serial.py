@@ -329,7 +329,15 @@ class SerialJob:
 
     # -- run loop ----------------------------------------------------------
 
-    def run(self) -> RunResult:
+    def run(self, terminal_watermark: bool = True) -> RunResult:
+        """Drive the job to source exhaustion.
+
+        ``terminal_watermark=False`` skips the closing terminal watermark:
+        open windows stay buffered instead of firing, so a later run can
+        restore this job's checkpoint and continue the *same* logical
+        stream (the ``repro serve`` incremental-round path). Batch runs
+        keep the default and flush everything.
+        """
         instr = self.instrumentation
         started = instr.start_run()
         failed = False
@@ -341,7 +349,8 @@ class SerialJob:
                 self._drive_batched()
             else:
                 self._drive_serial()
-            self._broadcast_watermark(Watermark.terminal())
+            if terminal_watermark:
+                self._broadcast_watermark(Watermark.terminal())
             # Records the closing sample too, so short runs (fewer events
             # than sample_every) still yield a Figure-5 data point.
             instr.finish(self.events_in)

@@ -12,9 +12,17 @@ files.
 from __future__ import annotations
 
 import json
+import os
 import pickle
+import time
+import uuid
 from pathlib import Path
 from typing import Protocol, runtime_checkable
+
+try:  # POSIX advisory locks; Windows falls back to an exclusive-create spinlock
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 
 class Checkpoint:
@@ -81,15 +89,63 @@ class InMemoryCheckpointStore:
         return InMemoryCheckpointStore(retain=self.retain)
 
 
+class _ManifestLock:
+    """Advisory exclusive lock serializing manifest read-modify-write.
+
+    Uses ``flock`` where available (POSIX); elsewhere an exclusive-create
+    spinlock on the same lock file. Lock scope is one store directory, so
+    concurrent writers (two jobs of a ``repro serve`` instance, or a
+    coordinator racing a reader) never interleave a read-modify-write.
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._fd: int | None = None
+
+    def __enter__(self) -> "_ManifestLock":
+        if fcntl is not None:
+            self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        else:  # pragma: no cover - non-POSIX platforms
+            while True:
+                try:
+                    self._fd = os.open(
+                        self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644
+                    )
+                    break
+                except FileExistsError:
+                    time.sleep(0.001)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._fd is not None
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+        else:  # pragma: no cover - non-POSIX platforms
+            os.close(self._fd)
+            self.path.unlink(missing_ok=True)
+        self._fd = None
+
+
 class DirectoryCheckpointStore:
     """Checkpoints as files under a directory, with a JSON manifest.
 
-    Layout: ``<dir>/chk-<id>.pickle`` plus ``<dir>/manifest.json`` listing
-    ``[{"checkpoint_id", "offset", "file"}]`` newest-last. The manifest is
-    rewritten atomically-enough for this simulation (write then replace).
+    Layout: ``<dir>/chk-<writer>-<id>.pickle`` plus ``<dir>/manifest.json``
+    listing ``[{"checkpoint_id", "offset", "file"}]`` newest-last. Payload
+    filenames carry a per-store writer token, and every manifest
+    read-modify-write runs under an exclusive directory lock
+    (``manifest.lock``), so concurrent stores sharing one directory can
+    never clobber each other's files or lose manifest entries mid-race.
+
+    Retention is still per *manifest*: stores that must not evict each
+    other's checkpoints belong in separate directories — use
+    :meth:`scoped` to give each job (or shard) its own subdirectory, as
+    ``repro serve`` and the sharded backend do.
     """
 
     _MANIFEST = "manifest.json"
+    _LOCK = "manifest.lock"
 
     def __init__(self, path: str | Path, retain: int = 3):
         if retain < 1:
@@ -97,9 +153,16 @@ class DirectoryCheckpointStore:
         self.path = Path(path)
         self.retain = retain
         self.path.mkdir(parents=True, exist_ok=True)
+        # Distinguishes this writer's payload files from a concurrent
+        # store's: two coordinators both counting checkpoints from 0 in
+        # one directory must not overwrite each other's ``chk-0``.
+        self._writer = uuid.uuid4().hex[:8]
 
     def _manifest_path(self) -> Path:
         return self.path / self._MANIFEST
+
+    def _lock(self) -> _ManifestLock:
+        return _ManifestLock(self.path / self._LOCK)
 
     def _read_manifest(self) -> list[dict]:
         manifest = self._manifest_path()
@@ -108,44 +171,50 @@ class DirectoryCheckpointStore:
         return json.loads(manifest.read_text())
 
     def _write_manifest(self, entries: list[dict]) -> None:
-        tmp = self._manifest_path().with_suffix(".tmp")
+        tmp = self._manifest_path().with_suffix(f".{self._writer}.tmp")
         tmp.write_text(json.dumps(entries, indent=2))
         tmp.replace(self._manifest_path())
 
     def save(self, checkpoint: Checkpoint) -> None:
-        name = f"chk-{checkpoint.checkpoint_id}.pickle"
+        name = f"chk-{self._writer}-{checkpoint.checkpoint_id}.pickle"
         (self.path / name).write_bytes(checkpoint.payload)
-        entries = self._read_manifest()
-        entries.append(
-            {
-                "checkpoint_id": checkpoint.checkpoint_id,
-                "offset": checkpoint.offset,
-                "file": name,
-            }
-        )
-        for stale in entries[: -self.retain]:
-            (self.path / stale["file"]).unlink(missing_ok=True)
-        self._write_manifest(entries[-self.retain :])
+        with self._lock():
+            entries = self._read_manifest()
+            entries.append(
+                {
+                    "checkpoint_id": checkpoint.checkpoint_id,
+                    "offset": checkpoint.offset,
+                    "file": name,
+                }
+            )
+            for stale in entries[: -self.retain]:
+                (self.path / stale["file"]).unlink(missing_ok=True)
+            self._write_manifest(entries[-self.retain :])
 
     def latest(self) -> Checkpoint | None:
-        entries = self._read_manifest()
-        if not entries:
-            return None
-        entry = entries[-1]
-        payload = (self.path / entry["file"]).read_bytes()
+        with self._lock():
+            entries = self._read_manifest()
+            if not entries:
+                return None
+            entry = entries[-1]
+            payload = (self.path / entry["file"]).read_bytes()
         return Checkpoint(entry["checkpoint_id"], entry["offset"], payload)
 
     def checkpoints(self) -> list[Checkpoint]:
         out = []
-        for entry in self._read_manifest():
-            payload = (self.path / entry["file"]).read_bytes()
-            out.append(Checkpoint(entry["checkpoint_id"], entry["offset"], payload))
+        with self._lock():
+            for entry in self._read_manifest():
+                payload = (self.path / entry["file"]).read_bytes()
+                out.append(
+                    Checkpoint(entry["checkpoint_id"], entry["offset"], payload)
+                )
         return out
 
     def clear(self) -> None:
-        for entry in self._read_manifest():
-            (self.path / entry["file"]).unlink(missing_ok=True)
-        self._manifest_path().unlink(missing_ok=True)
+        with self._lock():
+            for entry in self._read_manifest():
+                (self.path / entry["file"]).unlink(missing_ok=True)
+            self._manifest_path().unlink(missing_ok=True)
 
     def scoped(self, label: str) -> "DirectoryCheckpointStore":
         return DirectoryCheckpointStore(self.path / label, retain=self.retain)

@@ -37,6 +37,13 @@ cost estimates, chosen vs rejected alternatives)::
 is byte-identical to a clean run::
 
     python -m repro chaos --shards 2 --seed 7 --report chaos-report.json
+
+``serve``     run the long-lived multi-tenant query service: HTTP control
+API (submit/cancel/status/metrics/checkpoints), NDJSON event ingestion
+over TCP and HTTP, checkpoint-backed jobs, graceful drain on SIGTERM::
+
+    python -m repro serve --http-port 8181 --tcp-port 8182 \
+        --checkpoint-dir /tmp/repro-checkpoints
 """
 
 from __future__ import annotations
@@ -448,6 +455,80 @@ def cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the query service until SIGTERM/SIGINT, then drain gracefully.
+
+    The drain checkpoints every live job (terminal round: queued events
+    processed, windows flushed, state snapshotted) before the process
+    exits, so a restart with the same ``--checkpoint-dir`` can resume.
+    """
+    import asyncio
+    import json
+    import signal
+
+    from repro.runtime.service import JobManager, ReproService, ServiceConfig
+
+    config = ServiceConfig(
+        queue_limit=args.queue_limit,
+        admission=args.admission,
+        retry_after_ms=args.retry_after_ms,
+        round_events=args.round_events,
+        checkpoint_interval=args.checkpoint_interval,
+        max_restarts=args.max_restarts,
+        batch_size=args.batch_size,
+        fusion=args.batch_size > 1 and not args.no_fusion,
+        max_out_of_orderness=args.max_out_of_orderness,
+        optimize=args.optimize,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    service = ReproService(
+        JobManager(config),
+        host=args.host,
+        http_port=args.http_port,
+        tcp_port=args.tcp_port,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        print(
+            f"repro serve: control http://{service.host}:{service.http_port} | "
+            f"ingest tcp {service.host}:{service.tcp_port}",
+            flush=True,
+        )
+        if args.ready_file:
+            Path(args.ready_file).write_text(
+                json.dumps(
+                    {
+                        "host": service.host,
+                        "http_port": service.http_port,
+                        "tcp_port": service.tcp_port,
+                        "pid": None,
+                    }
+                )
+            )
+        loop = asyncio.get_running_loop()
+
+        def _drain_and_stop() -> None:
+            print("repro serve: draining...", flush=True)
+
+            async def _drain() -> None:
+                await loop.run_in_executor(None, service.manager.drain)
+                service.request_shutdown()
+
+            asyncio.ensure_future(_drain())
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, _drain_and_stop)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await service.serve_until_shutdown()
+
+    asyncio.run(_serve())
+    print("repro serve: drained and stopped", flush=True)
+    return 0
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -574,6 +655,45 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--report", metavar="PATH",
                        help="write the structured chaos report as JSON")
     chaos.set_defaults(func=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived multi-tenant query service",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--http-port", type=int, default=8181,
+                       help="control + HTTP ingest port (0 = ephemeral)")
+    serve.add_argument("--tcp-port", type=int, default=8182,
+                       help="NDJSON TCP ingest port (0 = ephemeral)")
+    serve.add_argument("--queue-limit", type=int, default=10000,
+                       help="bounded ingress queue capacity per job")
+    serve.add_argument("--admission", choices=("reject", "block"),
+                       default="reject",
+                       help="full-queue policy: reject with retry-after, or "
+                            "block the producer (TCP backpressure)")
+    serve.add_argument("--retry-after-ms", type=int, default=250,
+                       help="hint returned with rejected events")
+    serve.add_argument("--round-events", type=int, default=500,
+                       help="run a processing round every N queued events")
+    serve.add_argument("--checkpoint-interval", type=int, default=500,
+                       help="snapshot cadence inside rounds (events)")
+    serve.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="durable per-job checkpoints under DIR "
+                            "(default: in-memory)")
+    serve.add_argument("--max-restarts", type=int, default=3,
+                       help="per-job restart budget")
+    serve.add_argument("--batch-size", type=int, default=1, metavar="N",
+                       help="micro-batch size for processing rounds")
+    serve.add_argument("--no-fusion", action="store_true",
+                       help="disable compiled fusion in batched rounds")
+    serve.add_argument("--max-out-of-orderness", type=int, default=0,
+                       help="allowed event-time disorder of ingestion (ms)")
+    serve.add_argument("--optimize", choices=OPTIMIZE_MODES, default="off",
+                       help="optimizer mode applied to submitted queries")
+    serve.add_argument("--ready-file", metavar="PATH",
+                       help="write bound ports as JSON once listening "
+                            "(used by CI to wait for boot)")
+    serve.set_defaults(func=cmd_serve)
 
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("experiment", help="fig3a..fig3f, fig4, fig6")

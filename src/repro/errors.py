@@ -115,6 +115,34 @@ class InjectedFaultError(ExecutionError):
         self.at_event = at_event
 
 
+class ServiceError(ReproError):
+    """A `repro serve` control-plane request failed.
+
+    Carries a machine-readable ``code`` (stable, kebab-case), an HTTP
+    ``status`` for the control API, and optional structured ``details``
+    (e.g. the static-analysis diagnostics of a rejected submit) so
+    clients get a typed error document instead of a stack trace.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        status: int = 400,
+        details: list | tuple | None = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.status = status
+        self.details = list(details) if details else []
+
+    def as_dict(self) -> dict:
+        out: dict = {"code": self.code, "message": str(self)}
+        if self.details:
+            out["details"] = self.details
+        return out
+
+
 class ClusterError(ReproError):
     """Invalid cluster configuration (no slots, unknown node...)."""
 

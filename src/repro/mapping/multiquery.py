@@ -41,9 +41,11 @@ class _SharingCompiler(_Compiler):
     """Compiler variant that reuses identical scans across patterns."""
 
     def __init__(self, env, sources, shared_scans: dict,
-                 shared_source_handles: dict, options=None):
+                 shared_source_handles: dict, options=None,
+                 shared_physical_handles: dict | None = None):
         # ``plan`` is set per pattern via :meth:`with_plan`.
-        super().__init__(env, sources, plan=None, options=options)
+        super().__init__(env, sources, plan=None, options=options,
+                         physical_handles=shared_physical_handles)
         self._shared_scans = shared_scans
         # One physical source node per event type across ALL patterns.
         self._source_handles = shared_source_handles
@@ -141,6 +143,7 @@ def translate_many(
     env = StreamEnvironment(name=f"multi-query[{len(patterns)}]")
     shared_scans: dict = {}
     shared_source_handles: dict = {}
+    shared_physical_handles: dict = {}
     plans: list[LogicalPlan] = []
     attached: list[Sink] = []
     for index, (pattern, opts) in enumerate(zip(patterns, per_pattern)):
@@ -149,7 +152,8 @@ def translate_many(
             plan = optimize_plan(plan, opts, model, registry=registry)
         plans.append(plan)
         compiler = _SharingCompiler(
-            env, sources, shared_scans, shared_source_handles, opts
+            env, sources, shared_scans, shared_source_handles, opts,
+            shared_physical_handles,
         ).with_plan(plan)
         output = compiler.compile(plan.root)
         sink = sinks[index] if sinks is not None else CollectSink(

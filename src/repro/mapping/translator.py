@@ -119,12 +119,20 @@ class _Compiler:
         sources: Mapping[str, Source],
         plan: LogicalPlan,
         options: TranslationOptions | None = None,
+        physical_handles: dict[int, StreamHandle] | None = None,
     ):
         self.env = env
         self.sources = sources
         self.plan = plan
         self.options = options or TranslationOptions()
         self._source_handles: dict[str, StreamHandle] = {}
+        # One physical source *node* per Source object: a shared stream
+        # passed under several type keys is read once and fanned out to
+        # per-type routing filters (the `repro serve` ingestion path
+        # feeds every scan from one arrival-ordered log this way).
+        self._physical_handles: dict[int, StreamHandle] = (
+            physical_handles if physical_handles is not None else {}
+        )
 
     def _source_handle(self, event_type: str) -> StreamHandle:
         handle = self._source_handles.get(event_type)
@@ -135,10 +143,14 @@ class _Compiler:
                 raise TranslationError(
                     f"no source provided for event type '{event_type}'"
                 ) from None
-            handle = self.env.add_source(source)
+            root = self._physical_handles.get(id(source))
+            if root is None:
+                root = self.env.add_source(source)
+                self._physical_handles[id(source)] = root
+            handle = root
             if source.event_type != event_type:
                 # Shared physical stream: route by type first.
-                handle = handle.filter_type(event_type)
+                handle = root.filter_type(event_type)
             self._source_handles[event_type] = handle
         return handle
 

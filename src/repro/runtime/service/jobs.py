@@ -1,0 +1,762 @@
+"""Job manager: live queries as incremental checkpoint-backed rounds.
+
+A *job* is one submission — a catalog query name, an inline pattern, or
+a co-submitted batch sharing scans via
+:func:`~repro.mapping.multiquery.translate_many` — compiled once through
+the PR 6 optimizer into a dataflow whose every scan reads a single
+arrival-ordered ingestion log (one physical source node; the translator
+routes per type).
+
+Execution is *incremental replay*, built from the PR 4 fault-tolerance
+primitives rather than a new engine: ingested events queue in a bounded
+per-job ingress buffer; the worker drains them into the job's log and
+runs a **round** — a :class:`~repro.asp.runtime.backends.serial
+.SerialJob` over the same flow that restores the job's latest checkpoint
+(operator state, watermark progress, sink contents, source offset),
+replays the log from that offset, and checkpoints again at the end. The
+terminal watermark is withheld until the final drain round, so windows
+stay open across rounds exactly as they would in one continuous run.
+Crashes (injected or real ``InjectedFaultError``) retry from the latest
+checkpoint under the job's restart budget; sinks are part of every
+snapshot, so output is effectively-once across any number of worker
+restarts.
+
+Admission control: when a job's ingress queue is full the configured
+policy either **rejects** the event with a ``retry_after_ms`` hint or
+**blocks** the producer until the worker drains (TCP backpressure).
+Both decisions are counted in the job's metrics tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.asp.datamodel import ComplexEvent, Event, TypeRegistry
+from repro.asp.operators.sink import CollectSink
+from repro.asp.operators.source import GeneratorSource, ListSource
+from repro.asp.runtime import (
+    CheckpointCoordinator,
+    DirectoryCheckpointStore,
+    ExecutionSettings,
+    InMemoryCheckpointStore,
+    RunResult,
+    merge_metric_trees,
+    parse_fault_plan,
+    run_report,
+)
+from repro.asp.runtime.backends.serial import SerialJob
+from repro.asp.runtime.fault.injection import FaultInjector, FaultPlan
+from repro.asp.runtime.observability import MetricsRegistry
+from repro.errors import (
+    ExecutionError,
+    InjectedFaultError,
+    ReproError,
+    ServiceError,
+    StaticAnalysisError,
+)
+from repro.mapping.multiquery import translate_many
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.optimizer import OPTIMIZE_MODES
+from repro.mapping.translator import translate
+from repro.sea.parser import parse_pattern
+
+#: Admission policies for a full ingress queue.
+AdmissionPolicy = ("reject", "block")
+
+
+class JobState:
+    """Lifecycle of a job (plain string constants, JSON-friendly)."""
+
+    RUNNING = "running"
+    DRAINED = "drained"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide defaults; submissions may override the per-job knobs."""
+
+    #: Bounded ingress queue capacity per job.
+    queue_limit: int = 10_000
+    #: "reject" (429 + retry_after) or "block" (producer backpressure).
+    admission: str = "reject"
+    #: Hint returned with rejections.
+    retry_after_ms: int = 250
+    #: Run a processing round once this many events are queued.
+    round_events: int = 500
+    #: Checkpoint cadence inside rounds (events); None disables cadence
+    #: checkpoints (round-boundary checkpoints always happen).
+    checkpoint_interval: int | None = 500
+    #: Restart budget per job across its whole lifetime.
+    max_restarts: int = 3
+    #: Micro-batch size / fusion for the rounds (PR 5 engine).
+    batch_size: int = 1
+    fusion: bool = False
+    #: Allowed event-time disorder of the ingestion stream (ms).
+    max_out_of_orderness: int = 0
+    #: Optimizer mode applied at submit ("off"/"static"/"profile").
+    optimize: str = "off"
+    #: Directory for durable checkpoints (per-job subdirectories); None
+    #: keeps checkpoints in memory.
+    checkpoint_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.admission not in AdmissionPolicy:
+            raise ValueError(f"admission must be one of {AdmissionPolicy}")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.round_events < 1:
+            raise ValueError("round_events must be >= 1")
+
+
+@dataclass
+class Job:
+    """One live submission and all of its runtime state."""
+
+    job_id: str
+    name: str
+    query_names: list[str]
+    patterns: list[Any]
+    plans: list[Any]
+    sinks: list[CollectSink]
+    flow: Any
+    settings: ExecutionSettings
+    store: Any
+    coordinator: CheckpointCoordinator
+    injector: FaultInjector
+    event_types: frozenset[str]
+    queue_limit: int
+    admission: str
+    retry_after_ms: int
+    round_events: int
+    max_restarts: int
+    shared_scans: int = 0
+    state: str = JobState.RUNNING
+    failure: str | None = None
+    log: list[Event] = field(default_factory=list)
+    queue: deque = field(default_factory=deque)
+    cond: threading.Condition = field(default_factory=threading.Condition)
+    run_lock: threading.Lock = field(default_factory=threading.Lock)
+    flush_requested: bool = False
+    events_processed: int = 0
+    items_out: int = 0
+    wall_seconds: float = 0.0
+    peak_state_bytes: int = 0
+    work_units: int = 0
+    rounds: int = 0
+    restarts: list[dict[str, Any]] = field(default_factory=list)
+    operator_tree: dict[str, Any] = field(default_factory=dict)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def __post_init__(self) -> None:
+        scope = self.registry.scope("ingress")
+        self.accepted = scope.counter("admission.accepted")
+        self.rejected = scope.counter("admission.rejected")
+        self.blocked = scope.counter("admission.blocked")
+        self.queue_depth = scope.gauge("queue.depth", agg="max")
+        self.log_size = scope.gauge("log.size", agg="max")
+
+    # -- ingestion ---------------------------------------------------------
+
+    def offer(self, event: Event, *, wait: bool, draining: bool) -> dict[str, Any]:
+        """Admit one event into the ingress queue (admission control).
+
+        Returns ``{"accepted": bool, ...}``; when rejected, carries the
+        stable ``reason`` and a ``retry_after_ms`` hint.
+        """
+        with self.cond:
+            if self.state != JobState.RUNNING or draining:
+                return {"accepted": False, "reason": f"job-{self.state}"
+                        if self.state != JobState.RUNNING else "draining"}
+            if len(self.queue) >= self.queue_limit:
+                if self.admission == "block" and wait:
+                    self.blocked.inc()
+                    while (
+                        len(self.queue) >= self.queue_limit
+                        and self.state == JobState.RUNNING
+                    ):
+                        self.cond.wait(timeout=0.05)
+                    if self.state != JobState.RUNNING:
+                        self.rejected.inc()
+                        return {"accepted": False, "reason": f"job-{self.state}"}
+                else:
+                    self.rejected.inc()
+                    return {
+                        "accepted": False,
+                        "reason": "queue-full",
+                        "retry_after_ms": self.retry_after_ms,
+                    }
+            self.queue.append(event)
+            self.accepted.inc()
+            self.queue_depth.set(len(self.queue))
+            ready = len(self.queue) >= self.round_events
+        return {"accepted": True, "round_ready": ready}
+
+    def drain_queue(self) -> int:
+        """Move queued events into the log; unblocks waiting producers."""
+        with self.cond:
+            moved = len(self.queue)
+            if moved:
+                self.log.extend(self.queue)
+                self.queue.clear()
+            self.queue_depth.set(0)
+            self.log_size.set(len(self.log))
+            self.cond.notify_all()
+        return moved
+
+    @property
+    def pending(self) -> int:
+        with self.cond:
+            return len(self.queue)
+
+    def matches_of(self, index: int) -> list[ComplexEvent]:
+        sink = self.sinks[index]
+        return [
+            item if isinstance(item, ComplexEvent) else ComplexEvent((item,))
+            for item in sink.items
+        ]
+
+
+def _parse_query_spec(spec: Any, index: int) -> tuple[str, Any, TranslationOptions]:
+    """One submitted query -> (name, pattern, options)."""
+    from repro.mapping.advisor import recommend_options
+    from repro.patterns import CATALOG
+
+    if isinstance(spec, str):
+        spec = {"catalog": spec}
+    if not isinstance(spec, Mapping):
+        raise ServiceError("bad-query", "query must be a name or an object")
+    if "catalog" in spec:
+        catalog_name = spec["catalog"]
+        factory = CATALOG.get(catalog_name)
+        if factory is None:
+            raise ServiceError(
+                "unknown-query",
+                f"unknown catalog query '{catalog_name}' "
+                f"(available: {sorted(CATALOG)})",
+                status=404,
+            )
+        pattern = factory()
+        name = spec.get("name") or catalog_name
+    elif "pattern" in spec:
+        text = spec["pattern"]
+        if not isinstance(text, str) or not text.strip():
+            raise ServiceError("bad-pattern", "'pattern' must be pattern text")
+        name = spec.get("name") or f"inline-{index}"
+        try:
+            pattern = parse_pattern(text, name=name)
+        except ReproError as exc:
+            raise ServiceError("bad-pattern", str(exc)) from exc
+    else:
+        raise ServiceError(
+            "bad-query", "query needs 'catalog' (a name) or 'pattern' (text)"
+        )
+    overrides = spec.get("options")
+    if overrides is not None:
+        kwargs: dict[str, Any] = {}
+        if overrides.get("o1"):
+            from repro.mapping.plan import WindowStrategy
+
+            kwargs["join_strategy"] = WindowStrategy.INTERVAL
+        if overrides.get("o2"):
+            kwargs["iteration_strategy"] = "aggregate"
+        if overrides.get("o3"):
+            kwargs["partition_attribute"] = overrides["o3"]
+        if overrides.get("multiway"):
+            kwargs["use_multiway_joins"] = True
+        options = TranslationOptions(**kwargs)
+    else:
+        options = recommend_options(pattern).options
+    return name, pattern, options
+
+
+class JobManager:
+    """Owns every live job plus the shared ingestion bookkeeping.
+
+    Thread model: server threads call :meth:`submit`/:meth:`ingest`/
+    :meth:`cancel`/read endpoints; one background worker thread runs the
+    processing rounds. ``drain`` runs final rounds synchronously in the
+    calling thread (the per-job ``run_lock`` keeps rounds exclusive).
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        from repro.runtime.service.events import SourceTracker
+
+        self.config = config or ServiceConfig()
+        self.jobs: dict[str, Job] = {}
+        self.tracker = SourceTracker()
+        self.unrouted = 0
+        self.draining = False
+        self._ids = itertools.count(1)
+        self._jobs_lock = threading.Lock()
+        self._wake = threading.Condition()
+        self._stop = threading.Event()
+        self._worker: threading.Thread | None = None
+        self._base_store = (
+            DirectoryCheckpointStore(self.config.checkpoint_dir)
+            if self.config.checkpoint_dir
+            else InMemoryCheckpointStore()
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._worker is None:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-serve-worker", daemon=True
+            )
+            self._worker.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._wake:
+            self._wake.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=10)
+            self._worker = None
+
+    # -- submit / cancel ---------------------------------------------------
+
+    def submit(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Compile and register a submission; returns the job document.
+
+        ``request``: ``{"name": ..., "query": <spec>}`` or ``{"name":
+        ..., "queries": [<spec>, ...]}`` (co-submitted queries share
+        scans), plus optional per-job overrides (``admission``,
+        ``queue_limit``, ``round_events``, ``checkpoint_interval``,
+        ``optimize``, ``fault_plan``, ``batch_size``, ``fusion``,
+        ``max_restarts``).
+        """
+        if self.draining:
+            raise ServiceError("draining", "server is draining", status=503)
+        if not isinstance(request, Mapping):
+            raise ServiceError("bad-request", "submit body must be a JSON object")
+        specs = request.get("queries")
+        if specs is None:
+            single = request.get("query")
+            if single is None:
+                raise ServiceError(
+                    "bad-request", "submit needs 'query' or 'queries'"
+                )
+            specs = [single]
+        if not isinstance(specs, (list, tuple)) or not specs:
+            raise ServiceError("bad-request", "'queries' must be a non-empty list")
+
+        parsed = [_parse_query_spec(spec, i) for i, spec in enumerate(specs)]
+        names = [name for name, _p, _o in parsed]
+        if len(set(names)) != len(names):
+            raise ServiceError(
+                "duplicate-query", f"co-submitted query names must be unique: {names}"
+            )
+        job_name = request.get("name") or names[0]
+        with self._jobs_lock:
+            taken = {
+                job.name
+                for job in self.jobs.values()
+                if job.state in (JobState.RUNNING, JobState.DRAINED)
+            }
+            if job_name in taken:
+                raise ServiceError(
+                    "duplicate-job",
+                    f"a job named '{job_name}' already exists",
+                    status=409,
+                )
+
+        optimize = request.get("optimize", self.config.optimize)
+        if optimize not in OPTIMIZE_MODES:
+            raise ServiceError(
+                "bad-request", f"optimize must be one of {OPTIMIZE_MODES}"
+            )
+        fault_plan: FaultPlan | None = None
+        if request.get("fault_plan"):
+            try:
+                fault_plan = parse_fault_plan(request["fault_plan"])
+            except ExecutionError as exc:
+                raise ServiceError("bad-fault-plan", str(exc)) from exc
+
+        # Lint pre-flight: the static plan verifier runs on every
+        # submitted pattern before anything is registered, so a plan that
+        # cannot execute safely is a structured 400, not a later crash.
+        registry = TypeRegistry.paper_default()
+        for name, pattern, options in parsed:
+            lint_sources = {
+                t: ListSource([], name=f"lint[{t}]", event_type=t)
+                for t in pattern.distinct_event_types()
+            }
+            try:
+                translate(pattern, lint_sources, options, registry=registry,
+                          optimize=optimize)
+            except StaticAnalysisError as exc:
+                raise ServiceError(
+                    "static-analysis",
+                    f"query '{name}' failed static analysis: {exc}",
+                    details=[d.as_dict() for d in exc.diagnostics],
+                ) from exc
+            except ReproError as exc:
+                raise ServiceError(
+                    "translation", f"query '{name}' cannot be translated: {exc}"
+                ) from exc
+
+        job_id = f"job-{next(self._ids)}"
+        log: list[Event] = []
+        shared = GeneratorSource(lambda: list(log), name=f"ingest[{job_id}]")
+        event_types = frozenset(
+            t for _n, pattern, _o in parsed
+            for t in pattern.distinct_event_types()
+        )
+        sources = {t: shared for t in event_types}
+        multi = translate_many(
+            [pattern for _n, pattern, _o in parsed],
+            sources,
+            [options for _n, _p, options in parsed],
+            optimize=optimize,
+            registry=registry,
+        )
+        checkpoint_interval = request.get(
+            "checkpoint_interval", self.config.checkpoint_interval
+        )
+        settings = ExecutionSettings(
+            watermark_interval=min(plan.window_slide for plan in multi.plans),
+            max_out_of_orderness=request.get(
+                "max_out_of_orderness", self.config.max_out_of_orderness
+            ),
+            checkpoint_interval=checkpoint_interval,
+            batch_size=int(request.get("batch_size", self.config.batch_size)),
+            fusion=bool(request.get("fusion", self.config.fusion)),
+        )
+        admission = request.get("admission", self.config.admission)
+        if admission not in AdmissionPolicy:
+            raise ServiceError(
+                "bad-request", f"admission must be one of {AdmissionPolicy}"
+            )
+        store = self._base_store.scoped(job_id)
+        job = Job(
+            job_id=job_id,
+            name=job_name,
+            query_names=names,
+            patterns=[p for _n, p, _o in parsed],
+            plans=multi.plans,
+            sinks=list(multi.sinks),  # type: ignore[arg-type]
+            flow=multi.env.flow,
+            settings=settings,
+            store=store,
+            coordinator=CheckpointCoordinator(store, checkpoint_interval),
+            injector=FaultInjector(fault_plan or FaultPlan()),
+            event_types=event_types,
+            queue_limit=int(request.get("queue_limit", self.config.queue_limit)),
+            admission=admission,
+            retry_after_ms=int(
+                request.get("retry_after_ms", self.config.retry_after_ms)
+            ),
+            round_events=int(request.get("round_events", self.config.round_events)),
+            max_restarts=int(request.get("max_restarts", self.config.max_restarts)),
+            shared_scans=multi.num_shared_scans,
+        )
+        job.log = log
+        with self._jobs_lock:
+            self.jobs[job_id] = job
+        return self.job_status(job_id)
+
+    def _get(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            # Names are also accepted where they are unambiguous.
+            named = [j for j in self.jobs.values() if j.name == job_id]
+            if len(named) == 1:
+                return named[0]
+            raise ServiceError("unknown-job", f"no job '{job_id}'", status=404)
+        return job
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        job = self._get(job_id)
+        with job.cond:
+            if job.state == JobState.RUNNING:
+                job.state = JobState.CANCELLED
+                job.queue.clear()
+                job.queue_depth.set(0)
+                job.cond.notify_all()
+        return self.job_status(job.job_id)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest_event(
+        self,
+        event: Event,
+        source: str | None = None,
+        seq: int | None = None,
+        *,
+        wait: bool = True,
+    ) -> dict[str, Any]:
+        """Route one event to every running job that scans its type."""
+        if not self.tracker.admit(source, seq):
+            return {"accepted": 0, "duplicate": True}
+        routed = 0
+        rejections: list[dict[str, Any]] = []
+        ready = False
+        targets = [
+            job for job in list(self.jobs.values())
+            if event.event_type in job.event_types
+        ]
+        if not targets:
+            self.unrouted += 1
+            return {"accepted": 0, "unrouted": True}
+        for job in targets:
+            outcome = job.offer(event, wait=wait, draining=self.draining)
+            if outcome["accepted"]:
+                routed += 1
+                ready = ready or outcome.get("round_ready", False)
+            else:
+                rejection = {"job": job.job_id, **outcome}
+                rejection.pop("accepted")
+                rejections.append(rejection)
+        if ready:
+            self.kick()
+        out: dict[str, Any] = {"accepted": routed}
+        if rejections:
+            out["rejections"] = rejections
+        return out
+
+    def heartbeat(self, source: str | None, ts: int) -> None:
+        """A producer watermark: record it and flush queued work."""
+        self.tracker.heartbeat(source, ts)
+        self.flush_all()
+
+    def flush_all(self) -> None:
+        for job in list(self.jobs.values()):
+            if job.state == JobState.RUNNING:
+                job.flush_requested = True
+        self.kick()
+
+    def flush(self, job_id: str) -> None:
+        job = self._get(job_id)
+        job.flush_requested = True
+        self.kick()
+
+    def kick(self) -> None:
+        with self._wake:
+            self._wake.notify_all()
+
+    # -- the worker --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            progressed = False
+            for job in list(self.jobs.values()):
+                if job.state != JobState.RUNNING:
+                    continue
+                if job.pending >= job.round_events or (
+                    job.flush_requested and job.pending > 0
+                ):
+                    self.run_round(job)
+                    progressed = True
+                elif job.flush_requested:
+                    job.flush_requested = False
+            if not progressed:
+                with self._wake:
+                    self._wake.wait(timeout=0.05)
+
+    def run_round(self, job: Job, terminal: bool = False) -> RunResult | None:
+        """Drain the queue and process the new log suffix as one round."""
+        with job.run_lock:
+            job.drain_queue()
+            job.flush_requested = False
+            new_events = len(job.log) - job.events_processed
+            if new_events == 0 and not terminal:
+                return None
+            while True:
+                serial_job = SerialJob(
+                    job.flow,
+                    job.settings,
+                    injector=job.injector,
+                    coordinator=job.coordinator,
+                )
+                latest = job.store.latest()
+                if latest is None:
+                    # Checkpoint 0: pristine pre-stream state, so even a
+                    # crash in the first round can recover.
+                    job.coordinator.take(serial_job)
+                else:
+                    job.coordinator.restore_into(serial_job, latest)
+                    serial_job.start_offset = latest.offset
+                try:
+                    result = serial_job.run(terminal_watermark=terminal)
+                    break
+                except InjectedFaultError as exc:
+                    latest = job.store.latest()
+                    job.restarts.append(
+                        {
+                            "failed_at_event": exc.at_event,
+                            "resumed_from_offset": latest.offset if latest else 0,
+                            "round": job.rounds,
+                        }
+                    )
+                    if len(job.restarts) > job.max_restarts:
+                        job.state = JobState.FAILED
+                        job.failure = f"restart budget exhausted: {exc}"
+                        return None
+                    continue
+            # Round-boundary cut: the next round resumes exactly here.
+            job.coordinator.take(serial_job)
+            job.events_processed = serial_job.events_in
+            job.rounds += 1
+            job.items_out = result.items_out
+            job.wall_seconds += result.wall_seconds
+            job.peak_state_bytes = max(job.peak_state_bytes, result.peak_state_bytes)
+            job.work_units += result.work_units
+            round_tree = result.metrics.get("operators") or {}
+            job.operator_tree = (
+                merge_metric_trees([job.operator_tree, round_tree])
+                if job.operator_tree
+                else round_tree
+            )
+            if result.failed:
+                job.state = JobState.FAILED
+                job.failure = result.failure
+            return result
+
+    # -- drain / shutdown --------------------------------------------------
+
+    def drain(self) -> dict[str, Any]:
+        """Graceful drain: stop admitting, flush and checkpoint every job.
+
+        Every running job gets a final *terminal* round — queued events
+        processed, windows flushed by the terminal watermark, state
+        checkpointed — then moves to ``drained``. The server stays up to
+        serve results until shutdown.
+        """
+        self.draining = True
+        drained = []
+        for job in list(self.jobs.values()):
+            if job.state != JobState.RUNNING:
+                continue
+            self.run_round(job, terminal=True)
+            if job.state == JobState.RUNNING:
+                with job.cond:
+                    job.state = JobState.DRAINED
+                    job.cond.notify_all()
+            drained.append(job.job_id)
+        return {"drained": drained}
+
+    # -- read endpoints ----------------------------------------------------
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        return [self.job_status(job_id) for job_id in sorted(self.jobs)]
+
+    def job_status(self, job_id: str) -> dict[str, Any]:
+        job = self._get(job_id)
+        return {
+            "id": job.job_id,
+            "name": job.name,
+            "state": job.state,
+            "failure": job.failure,
+            "queries": list(job.query_names),
+            "shared_scans": job.shared_scans,
+            "event_types": sorted(job.event_types),
+            "admission": job.admission,
+            "queue_limit": job.queue_limit,
+            "queue_depth": job.pending,
+            "events_logged": len(job.log),
+            "events_processed": job.events_processed,
+            "rounds": job.rounds,
+            "restarts": len(job.restarts),
+            "matches": {
+                name: len(job.matches_of(i))
+                for i, name in enumerate(job.query_names)
+            },
+        }
+
+    def job_metrics(self, job_id: str) -> dict[str, Any]:
+        """The job's ``repro.metrics/v1`` report + service section."""
+        job = self._get(job_id)
+        with job.run_lock:
+            plan_summary: Any
+            if len(job.plans) == 1:
+                plan_summary = job.plans[0].summary()
+            else:
+                plan_summary = {
+                    "queries": {
+                        name: plan.summary()
+                        for name, plan in zip(job.query_names, job.plans)
+                    }
+                }
+            result = RunResult(
+                job_name=job.name,
+                events_in=job.events_processed,
+                items_out=job.items_out,
+                wall_seconds=job.wall_seconds,
+                peak_state_bytes=job.peak_state_bytes,
+                work_units=job.work_units,
+                failed=job.state == JobState.FAILED,
+                failure=job.failure,
+                metrics={"operators": job.operator_tree, "plan": plan_summary},
+                metadata={"backend": "service-rounds"},
+            )
+            report = run_report(result)
+            report["service"] = {
+                "job": job.job_id,
+                "name": job.name,
+                "state": job.state,
+                "admission": {
+                    "policy": job.admission,
+                    "queue_limit": job.queue_limit,
+                    "retry_after_ms": job.retry_after_ms,
+                },
+                "ingress": job.registry.to_dict(),
+                "rounds": job.rounds,
+                "restarts": list(job.restarts),
+                "checkpoints": job.coordinator.metrics(),
+            }
+        return report
+
+    def job_checkpoints(self, job_id: str) -> dict[str, Any]:
+        job = self._get(job_id)
+        with job.run_lock:
+            entries = [
+                {
+                    "checkpoint_id": c.checkpoint_id,
+                    "offset": c.offset,
+                    "size_bytes": c.size_bytes,
+                }
+                for c in job.store.checkpoints()
+            ]
+            return {
+                "job": job.job_id,
+                "coordinator": job.coordinator.metrics(),
+                "entries": entries,
+                "durable": isinstance(job.store, DirectoryCheckpointStore),
+            }
+
+    def job_matches(self, job_id: str) -> dict[str, Any]:
+        """Canonical match output per query (sorted dedup keys).
+
+        The key list joined with newlines is byte-identical to
+        :func:`repro.asp.runtime.fault.chaos.canonical_match_bytes` of
+        the same matches — the equivalence currency of the chaos gate.
+        """
+        job = self._get(job_id)
+        with job.run_lock:
+            queries = {}
+            for index, name in enumerate(job.query_names):
+                matches = job.matches_of(index)
+                queries[name] = {
+                    "count": len(matches),
+                    "keys": sorted(repr(m.dedup_key()) for m in matches),
+                }
+            return {"job": job.job_id, "state": job.state, "queries": queries}
+
+    def server_metrics(self) -> dict[str, Any]:
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "jobs": len(self.jobs),
+            "states": states,
+            "draining": self.draining,
+            "unrouted_events": self.unrouted,
+            "ingest": self.tracker.as_dict(),
+        }

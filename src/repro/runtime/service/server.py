@@ -1,0 +1,419 @@
+"""The `repro serve` network frontends: HTTP control/ingest + TCP ingest.
+
+Deliberately dependency-free: a minimal HTTP/1.1 implementation over
+``asyncio`` streams (every response is ``Connection: close``) and a
+newline-delimited-JSON TCP listener. Anything that can block — admission
+in *block* mode waits on the worker draining a full queue — runs in the
+default executor so the event loop stays responsive.
+
+Control API (JSON in/out)::
+
+    GET    /healthz               liveness + drain state
+    GET    /metrics               server-wide counters + ingest tracker
+    GET    /jobs                  list jobs
+    POST   /jobs                  submit (catalog names / inline patterns)
+    GET    /jobs/{id}             one job's status (id or unique name)
+    DELETE /jobs/{id}             cancel
+    POST   /jobs/{id}/flush       force a processing round
+    GET    /jobs/{id}/metrics     repro.metrics/v1 report + service section
+    GET    /jobs/{id}/checkpoints checkpoint chain + coordinator counters
+    GET    /jobs/{id}/matches     canonical match keys per query
+    POST   /ingest                NDJSON event batch (same lines as TCP)
+    POST   /drain                 graceful drain: flush + checkpoint all jobs
+    POST   /shutdown              drain, then stop the server
+
+Errors are structured documents — ``{"error": {"code": ..., "message":
+..., "details": [...]}}`` with the :class:`~repro.errors.ServiceError`
+status — never stack traces.
+
+The TCP ingest protocol accepts the same NDJSON lines; malformed lines
+get a ``{"error": ...}`` response line (the connection stays open),
+``{"op": "sync"}`` answers with a ``{"sync": ...}`` summary barrier, and
+``{"op": "bye"}`` or EOF ends the session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.runtime.service.events import WireError, parse_wire_line
+from repro.runtime.service.jobs import JobManager, ServiceConfig
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _http_response(status: int, body: dict[str, Any]) -> bytes:
+    payload = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + payload
+
+
+class ReproService:
+    """One server instance: a :class:`JobManager` plus its listeners."""
+
+    def __init__(
+        self,
+        manager: JobManager | None = None,
+        host: str = "127.0.0.1",
+        http_port: int = 0,
+        tcp_port: int = 0,
+    ):
+        self.manager = manager or JobManager()
+        self.host = host
+        self.http_port = http_port
+        self.tcp_port = tcp_port
+        self.shutdown_event: asyncio.Event | None = None
+        self._servers: list[asyncio.base_events.Server] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind both listeners and start the manager's worker thread."""
+        self.shutdown_event = asyncio.Event()
+        self.manager.start()
+        http_server = await asyncio.start_server(
+            self._handle_http, self.host, self.http_port
+        )
+        tcp_server = await asyncio.start_server(
+            self._handle_tcp, self.host, self.tcp_port
+        )
+        self._servers = [http_server, tcp_server]
+        self.http_port = http_server.sockets[0].getsockname()[1]
+        self.tcp_port = tcp_server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        assert self.shutdown_event is not None, "call start() first"
+        await self.shutdown_event.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers = []
+        self.manager.stop()
+
+    def request_shutdown(self) -> None:
+        if self.shutdown_event is not None:
+            self.shutdown_event.set()
+
+    # -- HTTP --------------------------------------------------------------
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body = await self._http_request(reader)
+            writer.write(_http_response(status, body))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _http_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any]]:
+        request_line = (await reader.readline()).decode("ascii", "replace").strip()
+        if not request_line:
+            return 400, {"error": {"code": "bad-request", "message": "empty request"}}
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {
+                "error": {"code": "bad-request", "message": "malformed request line"}
+            }
+        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("ascii", "replace").strip()
+            if not header:
+                break
+            if header.lower().startswith("content-length:"):
+                try:
+                    content_length = int(header.split(":", 1)[1].strip())
+                except ValueError:
+                    return 400, {
+                        "error": {
+                            "code": "bad-request",
+                            "message": "invalid Content-Length",
+                        }
+                    }
+        body = b""
+        if content_length:
+            body = await reader.readexactly(content_length)
+        try:
+            return await self._route(method, path, body)
+        except ServiceError as exc:
+            return exc.status, {"error": exc.as_dict()}
+        except WireError as exc:
+            return 400, {"error": exc.as_dict()}
+        except Exception as exc:  # noqa: BLE001 — the API never leaks tracebacks
+            print(f"repro serve: internal error on {method} {path}: {exc!r}",
+                  file=sys.stderr)
+            return 500, {
+                "error": {"code": "internal", "message": f"{type(exc).__name__}: {exc}"}
+            }
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        loop = asyncio.get_running_loop()
+        manager = self.manager
+        segments = [s for s in path.split("/") if s]
+
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "status": "ok",
+                "draining": manager.draining,
+                "jobs": len(manager.jobs),
+            }
+        if path == "/metrics" and method == "GET":
+            return 200, manager.server_metrics()
+        if path == "/jobs" and method == "GET":
+            return 200, {"jobs": manager.list_jobs()}
+        if path == "/jobs" and method == "POST":
+            request = self._json_body(body)
+            info = await loop.run_in_executor(None, manager.submit, request)
+            return 200, info
+        if path == "/ingest" and method == "POST":
+            summary = await loop.run_in_executor(None, self._ingest_lines, body)
+            status = 400 if summary["errors"] else 200
+            return status, summary
+        if path == "/drain" and method == "POST":
+            result = await loop.run_in_executor(None, manager.drain)
+            return 200, result
+        if path == "/shutdown" and method == "POST":
+            await loop.run_in_executor(None, manager.drain)
+            self.request_shutdown()
+            return 200, {"status": "shutting-down"}
+
+        if len(segments) >= 2 and segments[0] == "jobs":
+            job_id = segments[1]
+            tail = segments[2] if len(segments) > 2 else None
+            if tail is None and method == "GET":
+                return 200, manager.job_status(job_id)
+            if tail is None and method == "DELETE":
+                return 200, await loop.run_in_executor(None, manager.cancel, job_id)
+            if tail == "flush" and method == "POST":
+                manager.flush(job_id)
+                return 200, {"status": "flush-requested", "job": job_id}
+            if tail == "metrics" and method == "GET":
+                return 200, await loop.run_in_executor(
+                    None, manager.job_metrics, job_id
+                )
+            if tail == "checkpoints" and method == "GET":
+                return 200, await loop.run_in_executor(
+                    None, manager.job_checkpoints, job_id
+                )
+            if tail == "matches" and method == "GET":
+                return 200, await loop.run_in_executor(
+                    None, manager.job_matches, job_id
+                )
+        return 404, {
+            "error": {"code": "not-found", "message": f"no route {method} {path}"}
+        }
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict[str, Any]:
+        if not body:
+            raise ServiceError("bad-request", "request body must be JSON")
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError("bad-request", f"body is not valid JSON: {exc}") from None
+        if not isinstance(doc, dict):
+            raise ServiceError("bad-request", "body must be a JSON object")
+        return doc
+
+    def _ingest_lines(self, body: bytes) -> dict[str, Any]:
+        """Apply a batch of NDJSON lines; runs in the executor."""
+        summary: dict[str, Any] = {
+            "accepted": 0,
+            "rejected": 0,
+            "duplicates": 0,
+            "watermarks": 0,
+            "errors": [],
+            "rejections": [],
+        }
+        for number, raw in enumerate(body.splitlines(), start=1):
+            if not raw.strip():
+                continue
+            try:
+                message = parse_wire_line(raw)
+            except WireError as exc:
+                summary["errors"].append({"line": number, **exc.as_dict()})
+                continue
+            self._apply_message(message, summary)
+        return summary
+
+    def _apply_message(self, message: dict[str, Any], summary: dict[str, Any]) -> None:
+        if message["kind"] == "watermark":
+            self.manager.heartbeat(message["source"], message["ts"])
+            summary["watermarks"] += 1
+            return
+        if message["kind"] == "op":
+            return
+        outcome = self.manager.ingest_event(
+            message["event"], message["source"], message["seq"]
+        )
+        if outcome.get("duplicate"):
+            summary["duplicates"] += 1
+            return
+        summary["accepted"] += outcome.get("accepted", 0)
+        for rejection in outcome.get("rejections", ()):
+            summary["rejected"] += 1
+            summary["rejections"].append(rejection)
+
+    # -- TCP ingest --------------------------------------------------------
+
+    async def _handle_tcp(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        summary: dict[str, Any] = {
+            "accepted": 0,
+            "rejected": 0,
+            "duplicates": 0,
+            "watermarks": 0,
+            "errors": [],
+            "rejections": [],
+        }
+        try:
+            line_number = 0
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line_number += 1
+                if not raw.strip():
+                    continue
+                try:
+                    message = parse_wire_line(raw)
+                except WireError as exc:
+                    summary["errors"].append({"line": line_number, **exc.as_dict()})
+                    writer.write(
+                        (json.dumps({"error": {"line": line_number, **exc.as_dict()}})
+                         + "\n").encode("utf-8")
+                    )
+                    await writer.drain()
+                    continue
+                if message["kind"] == "op":
+                    if message["op"] == "sync":
+                        # Cap rejection detail so the barrier stays small.
+                        doc = dict(summary)
+                        doc["rejections"] = doc["rejections"][-20:]
+                        doc["errors"] = doc["errors"][-20:]
+                        writer.write(
+                            (json.dumps({"sync": doc}) + "\n").encode("utf-8")
+                        )
+                        await writer.drain()
+                        continue
+                    break  # bye
+                # Admission in "block" mode parks the producer's thread —
+                # run it off-loop so other connections keep flowing.
+                await loop.run_in_executor(
+                    None, self._apply_message, message, summary
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+
+@dataclass
+class ServiceHandle:
+    """A running service in a background thread (tests, CLI, smoke)."""
+
+    service: ReproService
+    thread: threading.Thread
+    loop: asyncio.AbstractEventLoop
+    host: str = "127.0.0.1"
+    http_port: int = 0
+    tcp_port: int = 0
+    _stopped: bool = field(default=False, repr=False)
+
+    @property
+    def manager(self) -> JobManager:
+        return self.service.manager
+
+    @property
+    def http_url(self) -> str:
+        return f"http://{self.host}:{self.http_port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.loop.call_soon_threadsafe(self.service.request_shutdown)
+        self.thread.join(timeout=timeout)
+
+
+def start_in_thread(
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    http_port: int = 0,
+    tcp_port: int = 0,
+) -> ServiceHandle:
+    """Boot a full service in a daemon thread; returns once it is bound."""
+    service = ReproService(
+        JobManager(config), host=host, http_port=http_port, tcp_port=tcp_port
+    )
+    ready = threading.Event()
+    box: dict[str, Any] = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        box["loop"] = loop
+        try:
+            loop.run_until_complete(service.start())
+            ready.set()
+            loop.run_until_complete(service.serve_until_shutdown())
+        finally:
+            if not ready.is_set():  # bind failed: unblock the caller
+                box.setdefault("error", "service failed to start")
+                ready.set()
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    ready.wait(timeout=10)
+    if "loop" not in box or box.get("error"):
+        raise ServiceError("boot", "service failed to start", status=500)
+    return ServiceHandle(
+        service=service,
+        thread=thread,
+        loop=box["loop"],
+        host=host,
+        http_port=service.http_port,
+        tcp_port=service.tcp_port,
+    )

@@ -96,9 +96,13 @@ class TestStores:
         reopened = DirectoryCheckpointStore(tmp_path / "chk", retain=2)
         assert [c.checkpoint_id for c in reopened.checkpoints()] == [2, 3]
         assert reopened.latest().payload == b"p3"
-        # Stale blobs were actually deleted, not just delisted.
+        # Stale blobs were actually deleted, not just delisted. Names are
+        # chk-<writer>-<id>.pickle so concurrent stores never collide.
         files = sorted(p.name for p in (tmp_path / "chk").glob("chk-*.pickle"))
-        assert files == ["chk-2.pickle", "chk-3.pickle"]
+        assert [name.rsplit("-", 1)[-1] for name in files] == [
+            "2.pickle",
+            "3.pickle",
+        ]
         assert isinstance(store, CheckpointStore)
 
     def test_directory_store_scoped_subdir(self, tmp_path):
@@ -106,7 +110,7 @@ class TestStores:
         shard = store.scoped("shard-1")
         shard.save(Checkpoint(9, offset=3, payload=b"z"))
         assert store.latest() is None
-        assert (tmp_path / "shard-1" / "chk-9.pickle").exists()
+        assert list((tmp_path / "shard-1").glob("chk-*-9.pickle"))
 
     def test_payload_round_trip_and_corruption(self):
         import pickle
@@ -115,6 +119,76 @@ class TestStores:
         assert unpickle_payload(pickle_payload(data)) == data
         with pytest.raises(TypeError):
             unpickle_payload(pickle.dumps([1, 2]))
+
+    def test_directory_store_concurrent_writers_same_dir(self, tmp_path):
+        """Two stores over one directory (the `repro serve` shape when
+        jobs share a checkpoint root) must not lose or corrupt
+        checkpoints: writer-tagged filenames plus manifest locking."""
+        import threading
+
+        stores = [
+            DirectoryCheckpointStore(tmp_path / "chk", retain=50)
+            for _ in range(4)
+        ]
+        errors = []
+
+        def writer(store, base):
+            try:
+                for i in range(25):
+                    store.save(
+                        Checkpoint(base + i, offset=i, payload=b"x" * 64)
+                    )
+                    store.latest()
+                    store.checkpoints()
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(store, 1000 * n))
+            for n, store in enumerate(stores)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        merged = DirectoryCheckpointStore(tmp_path / "chk", retain=200)
+        kept = merged.checkpoints()
+        # No lost updates: 100 saves through a retain-50 manifest must
+        # leave exactly 50 entries (unlocked read-modify-write races drop
+        # entries), and every referenced payload file must still exist
+        # and be intact (races delete files another writer still lists).
+        assert len(kept) == 50
+        for checkpoint in kept:
+            assert checkpoint.payload == b"x" * 64
+        # each writer's surviving ids appear in its own save order
+        ids = [c.checkpoint_id for c in kept]
+        for n in range(4):
+            per_writer = [i for i in ids if 1000 * n <= i < 1000 * n + 25]
+            assert per_writer == sorted(per_writer)
+
+    def test_directory_store_scoped_jobs_never_interfere(self, tmp_path):
+        import threading
+
+        base = DirectoryCheckpointStore(tmp_path)
+        results = {}
+
+        def job(label):
+            scoped = base.scoped(label)
+            for i in range(20):
+                scoped.save(Checkpoint(i, offset=i, payload=label.encode()))
+            results[label] = scoped.latest()
+
+        threads = [
+            threading.Thread(target=job, args=(f"job-{n}",)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for label, latest in results.items():
+            assert latest.checkpoint_id == 19
+            assert latest.payload == label.encode()
 
 
 class TestFaultPlans:

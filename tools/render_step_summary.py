@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Render CI reports as GitHub step-summary markdown.
+
+Reads one of this repo's JSON report formats and prints a compact
+markdown table, meant to be appended to ``$GITHUB_STEP_SUMMARY`` so the
+run page shows the result without downloading artifacts::
+
+    python tools/render_step_summary.py chaos chaos-report.json >> "$GITHUB_STEP_SUMMARY"
+    python tools/render_step_summary.py bench benchmarks/results/summary.json >> "$GITHUB_STEP_SUMMARY"
+    python tools/render_step_summary.py serve serve-smoke-report.json >> "$GITHUB_STEP_SUMMARY"
+
+Formats:
+
+``chaos``  a ``repro chaos --report`` file: per-query crash/recover
+           verdicts (serial + sharded) and the overall gate.
+``bench``  a ``benchmarks/results/summary.json`` written by
+           ``benchmarks.common.record_rows``: per-cell throughput.
+``serve``  a ``tools/serve_smoke.py --report`` file: per-query
+           server-vs-batch match counts and byte-identity.
+
+Missing files render a note instead of failing — summaries must never
+mask the real job status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _cell(text: object) -> str:
+    """Escape markdown table delimiters inside cell content."""
+    return str(text).replace("|", "\\|")
+
+
+def render_chaos(report: dict) -> list[str]:
+    lines = [
+        "## Chaos suite",
+        "",
+        "| query | clean matches | serial crash | sharded crash |",
+        "| --- | ---: | --- | --- |",
+    ]
+    for query in report.get("queries", []):
+        serial = query["serial"]
+        sharded = query["sharded"]
+        serial_ok = "ok" if serial["match"] else "**MISMATCH**"
+        serial_cell = f"{serial_ok} (restarts={serial['restarts']})"
+        if sharded.get("skipped"):
+            sharded_cell = f"skipped ({sharded['skipped']})"
+        else:
+            sharded_ok = "ok" if sharded["match"] else "**MISMATCH**"
+            sharded_cell = f"{sharded_ok} (restarts={sharded['restarts']})"
+        lines.append(
+            f"| {_cell(query['pattern'])} | {query['clean_matches']} "
+            f"| {serial_cell} | {sharded_cell} |"
+        )
+    verdict = "**OK**" if report.get("ok") else "**FAIL**"
+    lines += ["", f"Verdict: {verdict}"]
+    return lines
+
+
+def render_bench(report: dict) -> list[str]:
+    lines = ["## Benchmark summary", ""]
+    for name, experiment in sorted(report.get("experiments", {}).items()):
+        lines += [
+            f"### {name}",
+            "",
+            "| cell | events | matches | throughput (ev/s) |",
+            "| --- | ---: | ---: | ---: |",
+        ]
+        for cell, row in sorted(experiment.get("cells", {}).items()):
+            status = " (failed)" if row.get("failed") else ""
+            events = row.get("events_in", "-")
+            matches = row.get("matches", "-")
+            throughput = row.get("throughput_tps", 0)
+            lines.append(f"| {_cell(cell)}{status} | {events} | {matches} | {throughput:,.0f} |")
+        lines.append("")
+    return lines
+
+
+def render_serve(report: dict) -> list[str]:
+    lines = [
+        "## Serve smoke",
+        "",
+        f"Streamed **{report.get('events_streamed', '?')}** events over TCP "
+        f"to {len(report.get('queries', {}))} live queries "
+        f"({report.get('rounds', '?')} processing rounds, "
+        f"{report.get('checkpoints', '?')} checkpoints).",
+        "",
+        "| query | server matches | batch matches | byte-identical |",
+        "| --- | ---: | ---: | --- |",
+    ]
+    for name, row in sorted(report.get("queries", {}).items()):
+        identical = "yes" if row.get("identical") else "**NO**"
+        server = row.get("server_matches", "-")
+        batch = row.get("batch_matches", "-")
+        lines.append(f"| {name} | {server} | {batch} | {identical} |")
+    verdict = "**OK**" if report.get("ok") else "**FAIL**"
+    lines += ["", f"Verdict: {verdict}"]
+    return lines
+
+
+RENDERERS = {"chaos": render_chaos, "bench": render_bench, "serve": render_serve}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("kind", choices=sorted(RENDERERS))
+    parser.add_argument("report", help="path to the JSON report")
+    args = parser.parse_args(argv)
+
+    path = Path(args.report)
+    if not path.exists():
+        print(f"_No {args.kind} report at `{path}` (step skipped or failed)._")
+        return 0
+    try:
+        report = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"_Unreadable {args.kind} report at `{path}`: {exc}_")
+        return 0
+    print("\n".join(RENDERERS[args.kind](report)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

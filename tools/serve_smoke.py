@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""End-to-end smoke of `repro serve` for CI (and local debugging).
+
+Boots the real server as a subprocess (`python -m repro serve`, ephemeral
+ports, durable checkpoint dir, stdout/stderr captured to ``--log``),
+then drives it exactly like a tenant would:
+
+1. submit two catalog queries over the HTTP control API;
+2. stream the merged QnV/air-quality workload over the TCP ingestion
+   socket (~2k events, per-source sequence numbers, watermark
+   heartbeats every 500 events);
+3. drain, and assert every query's matches are byte-identical to the
+   one-shot batch reference computed in this process;
+4. assert the metrics endpoint serves a ``repro.metrics/v1`` tree with
+   the admission counters, and the checkpoints endpoint a non-empty
+   durable chain;
+5. stop the server with SIGTERM and require a clean graceful-drain exit.
+
+Exits nonzero on any mismatch; ``--report`` writes a JSON summary that
+``tools/render_step_summary.py serve`` renders for the step summary.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py --events 2000 \
+        --report serve-smoke-report.json --log serve-smoke.log
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.asp.operators.source import ListSource  # noqa: E402
+from repro.asp.runtime import ExecutionSettings, SerialBackend  # noqa: E402
+from repro.asp.runtime.fault.chaos import canonical_match_bytes  # noqa: E402
+from repro.experiments.common import Scale, qnv_aq_workload  # noqa: E402
+from repro.mapping.advisor import recommend_options  # noqa: E402
+from repro.mapping.translator import translate  # noqa: E402
+from repro.patterns import CATALOG  # noqa: E402
+from repro.runtime.service import (  # noqa: E402
+    ServiceClient,
+    merge_streams_for_wire,
+    stream_events,
+)
+
+QUERIES = ("traffic-congestion", "street-lighting-demand")
+
+
+def build_streams(events: int, seed: int) -> dict[str, list]:
+    """Workload with per-type ts offsets (unique cross-type timestamps,
+    so the wire order matches the batch scan-merge order)."""
+    scale = Scale(events=events, sensors=8, seed=seed)
+    streams = {t: list(evs) for t, evs in qnv_aq_workload(scale).items()}
+    for offset, evs in enumerate(streams.values()):
+        for event in evs:
+            event.ts += offset
+    return streams
+
+
+def batch_reference(query_name: str, streams: dict[str, list]) -> bytes:
+    pattern = CATALOG[query_name]()
+    options = recommend_options(pattern).options
+    sources = {
+        t: ListSource(streams[t], name=f"batch[{t}]", event_type=t)
+        for t in pattern.distinct_event_types()
+    }
+    query = translate(pattern, sources, options)
+    query.attach_sink()
+    settings = ExecutionSettings(watermark_interval=query.plan.window_slide)
+    SerialBackend().execute(query.env.flow, settings)
+    return canonical_match_bytes(query.matches())
+
+
+def wait_for_ready(path: Path, proc: subprocess.Popen, timeout: float) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited early with {proc.returncode}")
+        if path.exists():
+            return json.loads(path.read_text())
+        time.sleep(0.1)
+    raise RuntimeError(f"server not ready within {timeout}s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--report", metavar="PATH", help="write the JSON summary here")
+    parser.add_argument(
+        "--log", metavar="PATH", default="serve-smoke.log", help="server stdout/stderr capture"
+    )
+    parser.add_argument("--timeout", type=float, default=60.0)
+    args = parser.parse_args(argv)
+
+    report: dict = {"ok": False, "queries": {}, "events_streamed": 0}
+    failures: list[str] = []
+    log_file = open(args.log, "w")
+    with tempfile.TemporaryDirectory() as tmp:
+        ready_file = Path(tmp) / "ready.json"
+        env = dict(os.environ)
+        paths = [str(REPO_ROOT / "src"), env.get("PYTHONPATH")]
+        env["PYTHONPATH"] = os.pathsep.join(p for p in paths if p)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--http-port",
+                "0",
+                "--tcp-port",
+                "0",
+                "--ready-file",
+                str(ready_file),
+                "--checkpoint-dir",
+                str(Path(tmp) / "checkpoints"),
+                "--round-events",
+                "250",
+                "--checkpoint-interval",
+                "100",
+            ],
+            env=env,
+            stdout=log_file,
+            stderr=subprocess.STDOUT,
+            cwd=str(REPO_ROOT),
+        )
+        try:
+            ports = wait_for_ready(ready_file, proc, args.timeout)
+            client = ServiceClient(ports["host"], ports["http_port"])
+            print(f"server up: http={ports['http_port']} tcp={ports['tcp_port']}")
+
+            jobs = {}
+            for query_name in QUERIES:
+                info = client.submit({"name": query_name, "query": query_name})
+                jobs[query_name] = info["id"]
+                print(f"submitted {query_name} -> {info['id']}")
+
+            streams = build_streams(args.events, args.seed)
+            wire = list(merge_streams_for_wire(streams))
+            summary = stream_events(
+                ports["host"],
+                ports["tcp_port"],
+                wire,
+                source="smoke",
+                watermark_every=500,
+                timeout=args.timeout,
+            )
+            report["events_streamed"] = len(wire)
+            print(
+                f"streamed {len(wire)} events: accepted={summary['accepted']} "
+                f"rejected={summary['rejected']} errors={len(summary['errors'])}"
+            )
+            if summary["errors"]:
+                failures.append(f"ingest errors: {summary['errors'][:3]}")
+            if summary["rejected"]:
+                failures.append(f"{summary['rejected']} events rejected")
+
+            client.drain()
+
+            rounds = checkpoints = 0
+            for query_name, job_id in jobs.items():
+                batch = batch_reference(query_name, streams)
+                served_keys = client.matches(job_id)["queries"][query_name]["keys"]
+                served = "\n".join(served_keys).encode("utf-8")
+                identical = served == batch
+                row = {
+                    "server_matches": len(served_keys),
+                    "batch_matches": len(batch.split(b"\n")) if batch else 0,
+                    "identical": identical,
+                }
+                report["queries"][query_name] = row
+                print(
+                    f"{query_name}: server={row['server_matches']} "
+                    f"batch={row['batch_matches']} identical={identical}"
+                )
+                if not identical:
+                    failures.append(f"{query_name}: server != batch")
+
+                metrics = client.metrics(job_id)
+                if metrics.get("schema") != "repro.metrics/v1":
+                    failures.append(f"{query_name}: bad metrics schema")
+                ingress = metrics["service"]["ingress"]["ingress"]
+                if ingress["admission.accepted"]["value"] <= 0:
+                    failures.append(f"{query_name}: no admission accounting")
+                rounds += metrics["service"]["rounds"]
+                chain = client.checkpoints(job_id)
+                if not (chain["durable"] and chain["entries"]):
+                    failures.append(f"{query_name}: no durable checkpoints")
+                checkpoints += chain["coordinator"]["count"]
+            report["rounds"] = rounds
+            report["checkpoints"] = checkpoints
+
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=args.timeout)
+            if proc.returncode != 0:
+                failures.append(f"server exit code {proc.returncode}")
+            else:
+                print("server drained and exited cleanly")
+        except Exception as exc:  # noqa: BLE001 - report, then fail the job
+            failures.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+            log_file.close()
+
+    report["ok"] = not failures
+    report["failures"] = failures
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2, sort_keys=True))
+    if failures:
+        print("FAIL:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
