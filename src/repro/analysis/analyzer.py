@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Mapping, Optional
 
+from repro.analysis.cardinality import plan_cardinality_diagnostics
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic
 from repro.analysis.partition import (
     plan_partition_diagnostics,
@@ -45,6 +46,7 @@ def analyze(
     max_out_of_orderness: int = 0,
     prove_shardable: Optional[bool] = None,
     require_sinks: bool = False,
+    state_budget: Optional[float] = None,
     target: str = "",
 ) -> AnalysisReport:
     """Run every applicable pass over the pieces provided."""
@@ -69,6 +71,11 @@ def analyze(
             )
         )
         diags.extend(plan_purity_diagnostics(plan))
+        diags.extend(
+            plan_cardinality_diagnostics(
+                plan, registry=registry, state_budget=state_budget
+            )
+        )
     if flow is not None:
         diags.extend(structural_diagnostics(flow, require_sinks=require_sinks))
         diags.extend(flow_time_diagnostics(flow, max_out_of_orderness))
@@ -95,6 +102,7 @@ def analyze_query(
     max_out_of_orderness: int = 0,
     prove_shardable: Optional[bool] = None,
     require_sinks: bool = False,
+    state_budget: Optional[float] = None,
 ) -> AnalysisReport:
     """Analyze a translated query end to end (pattern + plan + dataflow)."""
     return analyze(
@@ -108,5 +116,6 @@ def analyze_query(
         max_out_of_orderness=max_out_of_orderness,
         prove_shardable=prove_shardable,
         require_sinks=require_sinks,
+        state_budget=state_budget,
         target=query.pattern.name,
     )

@@ -1,0 +1,432 @@
+"""Concurrency self-lint (RA82x): the analyzer pointed at our own runtime.
+
+PR 7 added an asyncio control plane (``repro.runtime.service``) on top of
+the threaded execution core (``repro.asp.runtime``); their byte-identity
+guarantees rest on ordering and locking invariants no test can exhaust.
+This pass reuses the purity pass's AST machinery to sanitize the
+*shipped source* of both packages:
+
+* **RA821** — a blocking call (``time.sleep``, ``subprocess.*``,
+  ``requests.*``, bare ``open``/``input``) lexically inside an ``async
+  def``: it stalls the event loop for every connection. Blocking work
+  must go through ``run_in_executor`` (passing the callable is fine —
+  only *calling* it inline is flagged).
+* **RA822** — name-based lock-attribution, scoped per file: an attribute
+  that is written somewhere in a module under ``with <obj>.<lock-ish>:``
+  (any name matching lock/cond/mutex/sem/wake) is considered lock-owned
+  in that module; any *other* write to the same attribute name with
+  **no** lock held is flagged. Writes in ``__init__``/``__post_init__``
+  are construction-before-publication and exempt; a trailing
+  ``# lint: unguarded`` comment documents a reviewed exception.
+* **RA823** — iteration over a value of set type (literal, ``set()`` /
+  ``frozenset()`` call, set comprehension, or a local assigned from one)
+  in a ``for`` loop or comprehension: set order varies across processes,
+  so any such iteration on an output path breaks byte-identity. Wrapping
+  the iterable in an order-insensitive consumer (``sorted``, ``min``,
+  ``max``, ``sum``, ``len``, ``any``, ``all``, ``set``, ``frozenset``)
+  is the fix and silences the finding.
+
+Entry point: :func:`lint_runtime_sources` (what ``repro lint --self``
+runs and CI gates); :func:`source_concurrency_diagnostics` lints one
+source text for tests and fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, error
+
+#: Dotted call roots/names that block the calling thread.
+_BLOCKING_MODULE_ROOTS = frozenset({"subprocess", "requests"})
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "os.system",
+        "os.popen",
+        "shutil.copy",
+        "shutil.copytree",
+    }
+)
+_BLOCKING_BARE = frozenset({"open", "input"})
+
+#: Attribute/variable names that denote a mutual-exclusion primitive.
+_LOCKISH = re.compile(r"lock|cond|mutex|sem|wake", re.IGNORECASE)
+
+#: Consumers whose result does not depend on iteration order.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+)
+
+#: Methods that mutate their receiver in place (shared with the purity
+#: pass's view of mutators).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    }
+)
+
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__", "__set_name__"})
+
+_SUPPRESS_MARK = "lint: unguarded"
+
+
+def _dotted_name(func: ast.expr) -> tuple[str, ...]:
+    parts: list[str] = []
+    node: ast.expr = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _lock_names(item: ast.withitem) -> Optional[str]:
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        # ``with self._lock.acquire_timeout():`` — a lock-ish receiver or
+        # method name anywhere in the dotted chain counts.
+        for part in reversed(_dotted_name(expr.func)):
+            if _LOCKISH.search(part):
+                return part
+        return None
+    if isinstance(expr, ast.Attribute) and _LOCKISH.search(expr.attr):
+        return expr.attr
+    if isinstance(expr, ast.Name) and _LOCKISH.search(expr.id):
+        return expr.id
+    return None
+
+
+def _written_attr(target: ast.expr) -> Optional[str]:
+    """Terminal attribute name written by an assignment target like
+    ``obj.attr``, ``obj.attr[k]`` or ``obj.attr.field``."""
+    node = target
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_set_expr(node: ast.expr, set_locals: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = _dotted_name(node.func)
+        return len(dotted) == 1 and dotted[0] in {"set", "frozenset"}
+    if isinstance(node, ast.Name):
+        return node.id in set_locals
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_locals) or _is_set_expr(
+            node.right, set_locals
+        )
+    return False
+
+
+class _ConcurrencyVisitor(ast.NodeVisitor):
+    """One walk per file; ``collect_only`` runs phase A of the RA822
+    lock-attribution (learn which attribute names are lock-owned) without
+    reporting anything."""
+
+    def __init__(
+        self,
+        filename: str,
+        source_lines: Sequence[str],
+        guards: dict[str, set[str]],
+        collect_only: bool,
+    ):
+        self.filename = filename
+        self.lines = source_lines
+        self.guards = guards
+        self.collect_only = collect_only
+        self.found: list[Diagnostic] = []
+        self._async_depth = 0
+        self._lock_stack: list[str] = []
+        self._func_stack: list[str] = []
+        self._order_safe_depth = 0
+        self._set_locals_stack: list[set[str]] = [set()]
+
+    # -- helpers ----------------------------------------------------------
+
+    def _report(self, code: str, message: str, node: ast.AST) -> None:
+        if self.collect_only:
+            return
+        line = getattr(node, "lineno", 0)
+        if 0 < line <= len(self.lines) and _SUPPRESS_MARK in self.lines[line - 1]:
+            return
+        where = ".".join(self._func_stack) or "<module>"
+        self.found.append(
+            error(code, message, where, f"{self.filename}:{line}")
+        )
+
+    @property
+    def _set_locals(self) -> set[str]:
+        return self._set_locals_stack[-1]
+
+    # -- function / lock / call contexts ----------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self._set_locals_stack.append(set())
+        self.generic_visit(node)
+        self._set_locals_stack.pop()
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self._set_locals_stack.append(set())
+        self._async_depth += 1
+        self.generic_visit(node)
+        self._async_depth -= 1
+        self._set_locals_stack.pop()
+        self._func_stack.pop()
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        names = [_lock_names(item) for item in node.items]
+        held = [name for name in names if name]
+        self._lock_stack.extend(held)
+        self.generic_visit(node)
+        for _name in held:
+            self._lock_stack.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        parts = _dotted_name(node.func)
+        dotted = ".".join(parts)
+        if self._async_depth and parts:
+            blocking = (
+                parts[0] in _BLOCKING_MODULE_ROOTS
+                or dotted in _BLOCKING_CALLS
+                or ".".join(parts[-2:]) in _BLOCKING_CALLS
+                or (len(parts) == 1 and parts[0] in _BLOCKING_BARE)
+            )
+            if blocking:
+                self._report(
+                    "RA821",
+                    f"blocking call '{dotted}' inside an async handler stalls "
+                    "the event loop; dispatch it via run_in_executor",
+                    node,
+                )
+        # Mutator-method calls are writes for the lock-attribution check.
+        if len(parts) >= 2 and parts[-1] in _MUTATOR_METHODS:
+            self._record_write(parts[-2], node)
+        if (
+            len(parts) == 1
+            and parts[0] in _ORDER_INSENSITIVE
+        ):
+            self._order_safe_depth += 1
+            self.generic_visit(node)
+            self._order_safe_depth -= 1
+            return
+        self.generic_visit(node)
+
+    # -- RA822: lock attribution ------------------------------------------
+
+    def _record_write(self, attr: str, node: ast.AST) -> None:
+        in_constructor = bool(self._func_stack) and self._func_stack[-1] in _CONSTRUCTORS
+        if self._lock_stack:
+            self.guards.setdefault(attr, set()).update(self._lock_stack)
+            return
+        if self.collect_only or in_constructor or not self._func_stack:
+            return
+        owners = self.guards.get(attr)
+        if owners:
+            self._report(
+                "RA822",
+                f"write to '{attr}' without a lock held; elsewhere it is "
+                f"guarded by {', '.join(sorted(owners))}",
+                node,
+            )
+
+    def _check_targets(self, targets: Iterable[ast.expr], node: ast.AST) -> None:
+        for target in targets:
+            attr = _written_attr(target)
+            if attr is not None:
+                self._record_write(attr, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_targets(node.targets, node)
+        self._track_set_assign(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_targets([node.target], node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_targets([node.target], node)
+            self._track_set_assign([node.target], node.value)
+        self.generic_visit(node)
+
+    # -- RA823: set-order iteration ---------------------------------------
+
+    def _track_set_assign(self, targets: Iterable[ast.expr], value: ast.expr) -> None:
+        is_set = _is_set_expr(value, self._set_locals)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self._set_locals.add(target.id)
+                else:
+                    self._set_locals.discard(target.id)
+
+    def _check_iteration(self, iterable: ast.expr, node: ast.AST) -> None:
+        if self._order_safe_depth:
+            return
+        if _is_set_expr(iterable, self._set_locals):
+            label = (
+                iterable.id
+                if isinstance(iterable, ast.Name)
+                else type(iterable).__name__
+            )
+            self._report(
+                "RA823",
+                f"iteration over set-typed '{label}' has nondeterministic "
+                "order across processes; wrap it in sorted() or restructure",
+                node,
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST, generators) -> None:
+        for gen in generators:
+            self._check_iteration(gen.iter, node)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a *set* from a set keeps order-independence.
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+
+def source_concurrency_diagnostics(
+    source: str,
+    filename: str = "<string>",
+    guards: Optional[dict[str, set[str]]] = None,
+) -> list[Diagnostic]:
+    """RA82x findings for one source text.
+
+    ``guards`` carries lock-attribution state across files; standalone
+    calls learn and check within the same text (two walks).
+    """
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            error(
+                "RA821",
+                f"source does not parse, concurrency cannot be proven: {exc.msg}",
+                filename,
+                f"{filename}:{exc.lineno or 0}",
+            )
+        ]
+    lines = source.splitlines()
+    if guards is None:
+        guards = {}
+        _ConcurrencyVisitor(filename, lines, guards, collect_only=True).visit(tree)
+    checker = _ConcurrencyVisitor(filename, lines, guards, collect_only=False)
+    checker.visit(tree)
+    return checker.found
+
+
+def default_lint_paths() -> list[Path]:
+    """The packages whose invariants the self-lint owns."""
+    import repro.asp.runtime as asp_runtime
+    import repro.runtime.service as service
+
+    return [
+        Path(service.__file__).parent,
+        Path(asp_runtime.__file__).parent,
+    ]
+
+
+def _python_files(paths: Iterable[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_runtime_sources(
+    paths: Optional[Sequence[Path | str]] = None,
+    target: str = "self",
+) -> AnalysisReport:
+    """Run the concurrency lint over the service runtime's own source.
+
+    Two phases *per file*: learn that file's lock attribution first, then
+    check it. Attribution is deliberately file-scoped — attribute names
+    are only meaningful within one module (a single-threaded execution
+    context and a service job may both have an ``items_out``), and a
+    cross-module guard map would turn every such coincidence into a
+    false positive.
+    """
+    resolved = (
+        [Path(p) for p in paths] if paths is not None else default_lint_paths()
+    )
+    diags: list[Diagnostic] = []
+    for file in _python_files(resolved):
+        text = file.read_text()
+        try:
+            tree = ast.parse(text, filename=str(file))
+        except SyntaxError as exc:
+            return AnalysisReport(
+                target=target,
+                diagnostics=(
+                    error(
+                        "RA821",
+                        f"{file} does not parse: {exc.msg}",
+                        str(file),
+                        f"{file}:{exc.lineno or 0}",
+                    ),
+                ),
+            )
+        guards: dict[str, set[str]] = {}
+        _ConcurrencyVisitor(str(file), [], guards, collect_only=True).visit(tree)
+        checker = _ConcurrencyVisitor(
+            str(file), text.splitlines(), guards, collect_only=False
+        )
+        checker.visit(tree)
+        diags.extend(checker.found)
+    return AnalysisReport(target=target, diagnostics=tuple(diags))

@@ -20,6 +20,9 @@ RA4xx  partition safety (the O3 proof, replacing "trust the flag")
 RA5xx  UDF purity (nondeterminism, I/O, closed-over mutable state)
 RA6xx  recoverability (the checkpoint/recovery snapshot protocol)
 RA7xx  optimizer rewrite equivalence (plan-vs-plan invariants)
+RA80x  cardinality & state bounds (abstract interpretation of the IR)
+RA81x  multi-query sharability (mergeable-prefix proofs, near-misses)
+RA82x  concurrency self-lint (the service runtime's own source)
 ====== =========================================================
 """
 
@@ -83,6 +86,18 @@ CODES: dict[str, str] = {
     "RA701": "rewrite changed the plan's output composition (aliases)",
     "RA702": "rewrite changed the predicate multiset",
     "RA703": "rewrite changed window extents",
+    # cardinality & state bounds (abstract interpretation of the IR)
+    "RA801": "operator state bound is infinite (unbounded growth)",
+    "RA802": "cross-product join has no selective predicate (pair blow-up)",
+    "RA803": "derived state bound exceeds the configured budget",
+    # multi-query sharability
+    "RA811": "scan prefixes on the same stream are not mergeable",
+    "RA812": "mergeable scans blocked from window-level sharing",
+    "RA813": "shared prefix has conflicting partition attributes",
+    # concurrency self-lint (service runtime source)
+    "RA821": "blocking call inside an async handler",
+    "RA822": "shared mutable state written outside its owning lock",
+    "RA823": "iteration over an unordered set on an output path",
 }
 
 

@@ -51,7 +51,7 @@ def _streams_for(pattern, events: int, sensors: int, seed: int) -> dict[str, lis
     missing = needed - set(streams)
     if missing:
         raise ValueError(f"no generator for event types {sorted(missing)}")
-    return {t: streams[t] for t in needed}
+    return {t: streams[t] for t in sorted(needed)}
 
 
 def _fresh_query(pattern, streams: Mapping[str, list], options):

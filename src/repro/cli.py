@@ -345,7 +345,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def _lint_one(pattern, options, streams=None, sharded=False):
+def _lint_one(pattern, options, streams=None, sharded=False, state_budget=None):
     """Translate (without pre-flight) and analyze one pattern; returns
     the report. Streams default to empty typed sources, so linting needs
     no data."""
@@ -358,48 +358,139 @@ def _lint_one(pattern, options, streams=None, sharded=False):
         for t in pattern.distinct_event_types()
     }
     query = translate(pattern, sources, options, analyze=False)
-    return analyze_query(query, prove_shardable=True if sharded else None)
+    return analyze_query(
+        query,
+        prove_shardable=True if sharded else None,
+        state_budget=state_budget,
+    )
+
+
+def _github_escape(text: str) -> str:
+    """Escape a message for a GitHub Actions workflow command."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _github_annotation(diag, target: str = "") -> str:
+    """One diagnostic as a ``::error``/``::warning`` workflow command, so
+    findings surface as inline annotations on the PR."""
+    level = "error" if diag.is_error else "warning"
+    props = []
+    if diag.source:
+        file, _, line = diag.source.rpartition(":")
+        if file:
+            props.append(f"file={_github_escape(file)}")
+            if line.isdigit():
+                props.append(f"line={line}")
+    props.append(f"title={diag.code}")
+    at = f" at {diag.where}" if diag.where else ""
+    prefix = f"{target}: " if target else ""
+    message = _github_escape(f"{prefix}[{diag.code}]{at} {diag.message}")
+    return f"::{level} {','.join(props)}::{message}"
+
+
+def _lint_catalog_jobs():
+    from repro.mapping.advisor import recommend_options as _recommend
+    from repro.patterns import CATALOG
+
+    jobs = []
+    for name in sorted(CATALOG):
+        pattern = CATALOG[name]()
+        jobs.append((name, pattern, _recommend(pattern).options))
+    return jobs
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.mapping.advisor import recommend_options as _recommend
+    # Three lint modes share the output pipeline: plan verification
+    # (default), the multi-query sharability proof (--sharing) and the
+    # concurrency self-lint over the runtime's own source (--self).
+    reports: list = []
+    kind = "plan"
+    if args.self_lint:
+        from repro.analysis import lint_runtime_sources
 
-    jobs: list[tuple[object, object]] = []
-    if args.catalog:
-        from repro.patterns import CATALOG
+        kind = "source file set"
+        reports.append(lint_runtime_sources(paths=args.self_path or None))
+    elif args.sharing:
+        from repro.analysis.sharing import prove_sharability
+        from repro.mapping.optimizer.build import build_plan
 
-        for name in sorted(CATALOG):
-            pattern = CATALOG[name]()
-            options = _recommend(pattern).options
-            jobs.append((pattern, options))
+        kind = "co-submission"
+        if args.catalog:
+            jobs = _lint_catalog_jobs()
+        else:
+            pattern = _pattern_from_args(args)
+            options = _options_from_args(args)
+            jobs = [(pattern.name, pattern, options)]
+        if len(jobs) < 2:
+            print(
+                "error: --sharing needs at least two queries "
+                "(use --catalog)",
+                file=sys.stderr,
+            )
+            return 2
+        submissions = [
+            (name, build_plan(pattern, options), options)
+            for name, pattern, options in jobs
+        ]
+        reports.append(prove_sharability(submissions, target="catalog"))
     else:
-        pattern = _pattern_from_args(args)
-        options = _options_from_args(args)
-        jobs.append((pattern, options))
+        if args.catalog:
+            jobs = _lint_catalog_jobs()
+        else:
+            jobs = [(None, _pattern_from_args(args), _options_from_args(args))]
+        streams = None
+        if getattr(args, "stream", None):
+            streams = _streams_from_args(args)
+        for _name, pattern, options in jobs:
+            reports.append(
+                _lint_one(
+                    pattern,
+                    options,
+                    streams,
+                    sharded=args.sharded,
+                    state_budget=args.state_budget,
+                )
+            )
 
-    streams = None
-    if getattr(args, "stream", None):
-        streams = _streams_from_args(args)
+    errors = sum(1 for r in reports for d in r.diagnostics if d.is_error)
+    warnings = sum(1 for r in reports for d in r.diagnostics if not d.is_error)
+    failed = errors > 0 or (args.strict and warnings > 0)
 
-    reports = []
-    for pattern, options in jobs:
-        reports.append(_lint_one(pattern, options, streams, sharded=args.sharded))
+    if args.report:
+        import json
 
-    errors = sum(len(r.errors) for r in reports)
-    warnings = sum(len(r.warnings) for r in reports)
+        payload = {
+            "kind": "repro.lint/v1",
+            "mode": "self" if args.self_lint else (
+                "sharing" if args.sharing else "plan"
+            ),
+            "errors": errors,
+            "warnings": warnings,
+            "ok": not failed,
+            "reports": [r.as_dict() for r in reports],
+        }
+        with open(args.report, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+
     if args.json:
         import json
 
         print(json.dumps([r.as_dict() for r in reports], indent=2, sort_keys=True))
+        return 1 if failed else 0
+    if args.format == "github":
+        for report in reports:
+            target = getattr(report, "target", "")
+            for diag in report.diagnostics:
+                print(_github_annotation(diag, target))
     else:
         for report in reports:
             print(report.render())
-    failed = errors > 0 or (args.strict and warnings > 0)
-    if not args.json:
-        print(
-            f"linted {len(reports)} plan(s): {errors} error(s), "
-            f"{warnings} warning(s) -> {'FAIL' if failed else 'OK'}"
-        )
+    print(
+        f"linted {len(reports)} {kind}(s): {errors} error(s), "
+        f"{warnings} warning(s) -> {'FAIL' if failed else 'OK'}"
+    )
     return 1 if failed else 0
 
 
@@ -627,6 +718,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
                       help="treat warnings as errors")
     lint.add_argument("--json", action="store_true",
                       help="emit diagnostics as JSON")
+    lint.add_argument("--sharing", action="store_true",
+                      help="prove multi-query scan-prefix sharability "
+                           "(RA81x) instead of per-plan verification")
+    lint.add_argument("--self", dest="self_lint", action="store_true",
+                      help="concurrency self-lint over the service "
+                           "runtime's own source (RA82x)")
+    lint.add_argument("--self-path", action="append", metavar="PATH",
+                      help="with --self: lint these files/directories "
+                           "instead of the shipped runtime (repeatable)")
+    lint.add_argument("--state-budget", type=float, default=None,
+                      help="flag plans whose proven state bound exceeds "
+                           "this many buffered events (RA803)")
+    lint.add_argument("--format", choices=("text", "github"), default="text",
+                      help="'github' emits ::error/::warning workflow "
+                           "commands for inline PR annotations")
+    lint.add_argument("--report", metavar="PATH",
+                      help="also write a repro.lint/v1 JSON report here")
     lint.set_defaults(func=cmd_lint)
 
     chaos = sub.add_parser(

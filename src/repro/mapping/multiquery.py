@@ -9,14 +9,20 @@ implements the first of them, common subexpression elimination at the
 scan level:
 
 * all patterns of a batch share one physical source node per event type;
-* identical pushed-down filter sets on the same type share one filter
-  operator (predicate trees are structural dataclasses, so equality is
-  syntactic);
+* identical *normalized* pushed-down filter sets on the same type share
+  one filter operator (normalization is the ``order-scan-filters``
+  selectivity ordering, so plans meet here whether or not phase 2 ran);
+* filter sets proven **subsumed** by the sharability prover
+  (:func:`repro.analysis.sharing.prove_sharability`) — single-attribute
+  range bounds on one attribute/direction, e.g. ``value > 80`` vs
+  ``value > 50`` — share one scan carrying the *weakest* bound, with
+  each query re-applying its own residual filter on top;
 * each pattern keeps its own joins and its own sink, and the whole batch
   runs as a single dataflow over one pass of the input.
 
-``translate_many`` returns a :class:`MultiQuery`; executing it once
-populates every pattern's sink.
+``translate_many`` returns a :class:`MultiQuery` whose ``sharing`` field
+carries the machine-readable proof (groups plus RA81x near-misses);
+executing it once populates every pattern's sink.
 """
 
 from __future__ import annotations
@@ -32,34 +38,72 @@ from repro.errors import TranslationError
 from repro.mapping.optimizations import TranslationOptions
 from repro.mapping.optimizer import optimize_plan, resolve_cost_model
 from repro.mapping.optimizer.build import build_plan
+from repro.mapping.optimizer.cost import predicate_selectivity
 from repro.mapping.optimizer.ir import LogicalPlan, StreamScan
 from repro.mapping.translator import _Compiler
 from repro.sea.ast import Pattern
 
 
+def _scan_signature(node: StreamScan) -> tuple[str, ...]:
+    """Rule-normalized filter signature — byte-compatible with the
+    sharability prover's :class:`~repro.analysis.sharing.ScanPipeline`."""
+    return tuple(
+        p.render()
+        for p in sorted(
+            node.filters, key=lambda p: (predicate_selectivity(p), p.render())
+        )
+    )
+
+
 class _SharingCompiler(_Compiler):
-    """Compiler variant that reuses identical scans across patterns."""
+    """Compiler variant that reuses scans across patterns: identical
+    normalized signatures share the whole pipeline; proven-subsumed scans
+    share the weakest-bound filter and re-apply their residual on top."""
 
     def __init__(self, env, sources, shared_scans: dict,
                  shared_source_handles: dict, options=None,
-                 shared_physical_handles: dict | None = None):
+                 shared_physical_handles: dict | None = None,
+                 subsumed_shares: dict | None = None):
         # ``plan`` is set per pattern via :meth:`with_plan`.
         super().__init__(env, sources, plan=None, options=options,
                          physical_handles=shared_physical_handles)
         self._shared_scans = shared_scans
         # One physical source node per event type across ALL patterns.
         self._source_handles = shared_source_handles
+        #: (query, alias) -> (shared predicate, has residual filters).
+        self._subsumed = subsumed_shares or {}
+        self._query = ""
 
-    def with_plan(self, plan: LogicalPlan) -> "_SharingCompiler":
+    def with_plan(self, plan: LogicalPlan, query: str = "") -> "_SharingCompiler":
         self.plan = plan
+        self._query = query or plan.pattern_name
         return self
 
     def _compile_scan(self, node: StreamScan) -> StreamHandle:
-        key = (node.event_type, tuple(p.render() for p in node.filters))
+        key = (node.event_type, _scan_signature(node))
         handle = self._shared_scans.get(key)
-        if handle is None:
+        if handle is not None:
+            return handle
+        share = self._subsumed.get((self._query, node.alias))
+        if share is not None:
+            shared_pred, has_residual = share
+            base_key = (node.event_type, (shared_pred.render(),))
+            base = self._shared_scans.get(base_key)
+            if base is None:
+                base = self._apply_filters(
+                    self._source_handle(node.event_type),
+                    (shared_pred,),
+                    alias=f"shared[{node.event_type}]",
+                )
+                self._shared_scans[base_key] = base
+            handle = (
+                self._apply_filters(base, node.filters, node.alias)
+                if has_residual
+                else base
+            )
+        else:
             handle = super()._compile_scan(node)
-            self._shared_scans[key] = handle
+        self._shared_scans[key] = handle
         return handle
 
 
@@ -72,6 +116,10 @@ class MultiQuery:
     plans: list[LogicalPlan]
     sinks: list[Sink]
     shared_scans: dict = field(default_factory=dict)
+    #: The sharability proof behind the batch's scan sharing (an
+    #: :class:`~repro.analysis.sharing.SharingReport`); ``None`` for
+    #: single-pattern batches, where there is nothing to prove.
+    sharing: object | None = None
     result: RunResult | None = None
 
     def execute(self, **kwargs) -> RunResult:
@@ -99,6 +147,8 @@ class MultiQuery:
     def explain(self) -> str:
         lines = [f"MultiQuery over {len(self.patterns)} patterns, "
                  f"{self.num_shared_scans} shared scan pipelines"]
+        if self.sharing is not None:
+            lines.append(self.sharing.render())  # type: ignore[attr-defined]
         for plan in self.plans:
             lines.append(plan.explain())
         return "\n".join(lines)
@@ -140,21 +190,47 @@ def translate_many(
 
     model = resolve_cost_model(optimize, registry, profile_from)
 
-    env = StreamEnvironment(name=f"multi-query[{len(patterns)}]")
-    shared_scans: dict = {}
-    shared_source_handles: dict = {}
-    shared_physical_handles: dict = {}
     plans: list[LogicalPlan] = []
-    attached: list[Sink] = []
-    for index, (pattern, opts) in enumerate(zip(patterns, per_pattern)):
+    for pattern, opts in zip(patterns, per_pattern):
         plan = build_plan(pattern, opts)
         if model is not None:
             plan = optimize_plan(plan, opts, model, registry=registry)
         plans.append(plan)
+
+    # Sharability proof: the compiler only merges what the prover proved.
+    # Names are disambiguated when patterns collide so the (query, alias)
+    # keys stay unique.
+    names = [p.name for p in patterns]
+    if len(set(names)) != len(names):
+        names = [f"{name}#{i}" for i, name in enumerate(names)]
+    report = None
+    subsumed_shares: dict = {}
+    if len(patterns) > 1:
+        from repro.analysis.sharing import prove_sharability
+
+        report = prove_sharability(
+            list(zip(names, plans, per_pattern)),
+            target=f"multi-query[{len(patterns)}]",
+        )
+        for group in report.groups:
+            if group.level != "subsumed" or group.shared_bound is None:
+                continue
+            pred = group.shared_bound.as_predicate(group.shared_alias)
+            for query, alias, residual in group.residuals:
+                subsumed_shares[(query, alias)] = (pred, bool(residual))
+
+    env = StreamEnvironment(name=f"multi-query[{len(patterns)}]")
+    shared_scans: dict = {}
+    shared_source_handles: dict = {}
+    shared_physical_handles: dict = {}
+    attached: list[Sink] = []
+    for index, (pattern, opts, plan, name) in enumerate(
+        zip(patterns, per_pattern, plans, names)
+    ):
         compiler = _SharingCompiler(
             env, sources, shared_scans, shared_source_handles, opts,
-            shared_physical_handles,
-        ).with_plan(plan)
+            shared_physical_handles, subsumed_shares,
+        ).with_plan(plan, query=name)
         output = compiler.compile(plan.root)
         sink = sinks[index] if sinks is not None else CollectSink(
             name=f"sink[{pattern.name}]"
@@ -167,4 +243,5 @@ def translate_many(
         plans=plans,
         sinks=attached,
         shared_scans=shared_scans,
+        sharing=report,
     )

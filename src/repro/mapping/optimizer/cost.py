@@ -32,18 +32,10 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.asp.datamodel import TypeRegistry
 from repro.mapping.optimizer.ir import (
-    CountAggregate,
     LogicalPlan,
-    MultiWayJoin,
-    NseqPrepare,
-    Permute,
     PlanNode,
-    PostFilter,
-    SchemaAlign,
     StreamScan,
-    UnionAll,
     WindowJoin,
-    WindowStrategy,
 )
 from repro.sea.predicates import Compare, Predicate
 
@@ -226,94 +218,31 @@ class PlanCost:
         return f"cpu={self.total_cpu:.3g} state={self.total_state:.3g}"
 
 
-def _window_seconds(size_ms: int) -> float:
-    return max(size_ms, 1) / 1000.0
-
-
 def estimate_node(
     node: PlanNode,
     model: CostModel,
     cache: dict[int, NodeCost],
     join_ordinals: Mapping[int, int],
 ) -> NodeCost:
-    """Bottom-up cost of one node (memoized by object identity)."""
+    """Bottom-up cost of one node (memoized by object identity).
+
+    The per-node arithmetic lives in the cardinality abstract interpreter
+    (:mod:`repro.analysis.cardinality`), which propagates the optimizer's
+    point estimates and the verifier's guaranteed rate/state intervals in
+    one walk — rewrite decisions and RA80x proofs price plans with the
+    same model. The import is deferred: ``repro.analysis`` imports this
+    module at load time, the reverse edge resolves at first use.
+    """
     hit = cache.get(id(node))
     if hit is not None:
         return hit
-    children = [estimate_node(c, model, cache, join_ordinals) for c in node.inputs()]
+    from repro.analysis.cardinality import NodeBounds, interpret_node
 
-    if isinstance(node, StreamScan):
-        rate = model.scan_rate(node)
-        in_rate = rate if rate is not None else DEFAULT_RATE
-        out = in_rate * model.scan_selectivity(node)
-        cost = NodeCost(out_rate=out, cpu=in_rate * max(len(node.filters), 1), state=0.0)
-    elif isinstance(node, WindowJoin):
-        left, right = children
-        window = _window_seconds(node.window_size)
-        pairs = left.out_rate * right.out_rate * window
-        selectivity = model.join_selectivity(node, join_ordinals.get(id(node), 0))
-        if node.strategy is WindowStrategy.INTERVAL:
-            # O1: one content-based window per left event; every event is
-            # touched once, pairs are enumerated within the interval.
-            cpu = left.out_rate + right.out_rate + pairs
-            state = (left.out_rate + right.out_rate) * window
-        else:
-            # Sliding: every event lands in W/slide overlapping windows
-            # and the pair enumeration repeats per window (the duplicate
-            # computation O1 removes).
-            windows_per_event = max(node.window_size // max(node.window_slide, 1), 1)
-            cpu = (left.out_rate + right.out_rate) * windows_per_event + pairs
-            state = (left.out_rate + right.out_rate) * window * windows_per_event
-        cost = NodeCost(out_rate=pairs * selectivity, cpu=cpu, state=state)
-    elif isinstance(node, MultiWayJoin):
-        window = _window_seconds(node.window_size)
-        rates = [c.out_rate for c in children]
-        pairs = 1.0
-        for rate in rates:
-            pairs *= max(rate * window, 1e-9)
-        pairs /= window  # n-tuples per second
-        cpu = sum(rates) + pairs
-        state = sum(rates) * window
-        selectivity = ORDER_SELECTIVITY if node.ordered else 1.0
-        if node.key_attribute:
-            selectivity *= EQUI_KEY_SELECTIVITY
-        cost = NodeCost(out_rate=pairs * selectivity, cpu=cpu, state=state)
-    elif isinstance(node, CountAggregate):
-        (inner,) = children
-        window = _window_seconds(node.window_size)
-        # One output per (key, window) at most: bounded by the slide rate.
-        slide_s = max(node.window_slide, 1) / 1000.0
-        cost = NodeCost(
-            out_rate=min(1.0 / slide_s, inner.out_rate),
-            cpu=inner.out_rate,
-            state=inner.out_rate * window,
-        )
-    elif isinstance(node, NseqPrepare):
-        first, negated = children
-        window = _window_seconds(node.window_size)
-        cost = NodeCost(
-            out_rate=first.out_rate,
-            cpu=first.out_rate + negated.out_rate,
-            state=(first.out_rate + negated.out_rate) * window,
-        )
-    elif isinstance(node, UnionAll):
-        out = sum(c.out_rate for c in children)
-        cost = NodeCost(out_rate=out, cpu=out, state=0.0)
-    elif isinstance(node, PostFilter):
-        (inner,) = children
-        selectivity = 1.0
-        for pred in node.predicates:
-            selectivity *= predicate_selectivity(pred)
-        cost = NodeCost(out_rate=inner.out_rate * selectivity, cpu=inner.out_rate, state=0.0)
-    elif isinstance(node, (SchemaAlign, Permute)):
-        (inner,) = children
-        cost = NodeCost(out_rate=inner.out_rate, cpu=inner.out_rate, state=0.0)
-    else:
-        inner_rate = children[0].out_rate if children else DEFAULT_RATE
-        cost = NodeCost(out_rate=inner_rate, cpu=inner_rate, state=0.0)
-
-    cache[id(node)] = cost
-    return cost
+    bounds_cache: dict[int, NodeBounds] = {}
+    interpret_node(node, model, bounds_cache, join_ordinals)
+    for node_id, bounds in bounds_cache.items():
+        cache.setdefault(node_id, bounds.point)
+    return cache[id(node)]
 
 
 def _join_ordinals(root: PlanNode) -> dict[int, int]:

@@ -13,7 +13,7 @@ compare against FCEP on identical sources (the paper's methodology).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.asp.datamodel import ComplexEvent, Event, TypeRegistry
 from repro.asp.executor import RunResult
@@ -189,25 +189,30 @@ class _Compiler:
     def _compile_scan(self, node: StreamScan) -> StreamHandle:
         handle = self._source_handle(node.event_type)
         if node.filters:
-            filters = node.filters
-            default_alias = node.alias
-
-            def check(event: Item) -> bool:
-                # Each pushed-down conjunct references exactly one alias —
-                # possibly a bare iteration alias differing from the
-                # indexed scan alias — so bind per conjunct.
-                for pred in filters:
-                    alias = next(iter(pred.aliases()), default_alias)
-                    if not pred.evaluate({alias: event}):
-                        return False
-                return True
-
-            # Closure-compiled form of the same conjunction; the batched
-            # engine's filter hot path picks it up (the per-event
-            # reference path keeps the tree-walking evaluator).
-            check.compiled = compile_check(filters)
-            handle = handle.filter(check, name=f"filter[{node.alias}]")
+            handle = self._apply_filters(handle, node.filters, node.alias)
         return handle
+
+    def _apply_filters(
+        self, handle: StreamHandle, filters: Sequence[Predicate], alias: str
+    ) -> StreamHandle:
+        filters = tuple(filters)
+        default_alias = alias
+
+        def check(event: Item) -> bool:
+            # Each pushed-down conjunct references exactly one alias —
+            # possibly a bare iteration alias differing from the
+            # indexed scan alias — so bind per conjunct.
+            for pred in filters:
+                bind = next(iter(pred.aliases()), default_alias)
+                if not pred.evaluate({bind: event}):
+                    return False
+            return True
+
+        # Closure-compiled form of the same conjunction; the batched
+        # engine's filter hot path picks it up (the per-event
+        # reference path keeps the tree-walking evaluator).
+        check.compiled = compile_check(filters)
+        return handle.filter(check, name=f"filter[{alias}]")
 
     def _compile_join(self, node: WindowJoin) -> StreamHandle:
         left = self.compile(node.left)

@@ -39,7 +39,11 @@ from repro.runtime.service.jobs import (
     ServiceConfig,
 )
 from repro.runtime.service.server import ReproService, ServiceHandle, start_in_thread
-from repro.runtime.service.client import ServiceClient, stream_events
+from repro.runtime.service.client import (
+    ServiceClient,
+    format_service_error,
+    stream_events,
+)
 
 __all__ = [
     "AdmissionPolicy",
@@ -53,6 +57,7 @@ __all__ = [
     "WireError",
     "event_from_wire",
     "event_to_wire",
+    "format_service_error",
     "merge_streams_for_wire",
     "parse_wire_line",
     "start_in_thread",

@@ -18,6 +18,30 @@ from repro.errors import ServiceError
 from repro.runtime.service.events import event_to_wire
 
 
+def format_service_error(exc: ServiceError) -> str:
+    """Pretty-print a service error's structured diagnostics.
+
+    Submission 400s (``static-analysis``, ``sharing-conflict``) carry the
+    analyzer's diagnostics as ``details``; this renders them the way
+    ``repro lint`` would, one coded finding per line, so CLI callers and
+    smoke scripts can show *why* a submit was rejected instead of just
+    the HTTP status.
+    """
+    lines = [f"{exc.code} (HTTP {exc.status}): {exc}"]
+    for detail in exc.details:
+        if not isinstance(detail, dict):
+            lines.append(f"  {detail}")
+            continue
+        severity = detail.get("severity", "error")
+        code = detail.get("code", "?")
+        at = f" at {detail['where']}" if detail.get("where") else ""
+        loc = f" ({detail['source']})" if detail.get("source") else ""
+        lines.append(
+            f"  {severity}[{code}]{at}: {detail.get('message', '')}{loc}"
+        )
+    return "\n".join(lines)
+
+
 class ServiceClient:
     """Thin JSON-over-HTTP client for the control API."""
 

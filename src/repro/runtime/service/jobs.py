@@ -136,6 +136,9 @@ class Job:
     round_events: int
     max_restarts: int
     shared_scans: int = 0
+    #: The co-submission's sharability proof (a SharingReport as_dict),
+    #: None for single-query jobs.
+    sharing: dict[str, Any] | None = None
     state: str = JobState.RUNNING
     failure: str | None = None
     log: list[Event] = field(default_factory=list)
@@ -409,7 +412,7 @@ class JobManager:
             t for _n, pattern, _o in parsed
             for t in pattern.distinct_event_types()
         )
-        sources = {t: shared for t in event_types}
+        sources = {t: shared for t in sorted(event_types)}
         multi = translate_many(
             [pattern for _n, pattern, _o in parsed],
             sources,
@@ -417,6 +420,18 @@ class JobManager:
             optimize=optimize,
             registry=registry,
         )
+        # Sharability pre-flight: a co-submission whose proven-shared
+        # prefixes demand conflicting O3 partition keys (RA813) cannot
+        # run merged — reject it with the prover's diagnostics attached.
+        if multi.sharing is not None and not multi.sharing.ok():
+            raise ServiceError(
+                "sharing-conflict",
+                "co-submission failed the sharability proof: "
+                + "; ".join(
+                    d.message for d in multi.sharing.diagnostics if d.is_error
+                ),
+                details=[d.as_dict() for d in multi.sharing.diagnostics],
+            )
         checkpoint_interval = request.get(
             "checkpoint_interval", self.config.checkpoint_interval
         )
@@ -456,8 +471,9 @@ class JobManager:
             round_events=int(request.get("round_events", self.config.round_events)),
             max_restarts=int(request.get("max_restarts", self.config.max_restarts)),
             shared_scans=multi.num_shared_scans,
+            sharing=multi.sharing.as_dict() if multi.sharing is not None else None,
+            log=log,
         )
-        job.log = log
         with self._jobs_lock:
             self.jobs[job_id] = job
         return self.job_status(job_id)
@@ -528,13 +544,15 @@ class JobManager:
 
     def flush_all(self) -> None:
         for job in list(self.jobs.values()):
-            if job.state == JobState.RUNNING:
-                job.flush_requested = True
+            with job.cond:
+                if job.state == JobState.RUNNING:
+                    job.flush_requested = True
         self.kick()
 
     def flush(self, job_id: str) -> None:
         job = self._get(job_id)
-        job.flush_requested = True
+        with job.cond:
+            job.flush_requested = True
         self.kick()
 
     def kick(self) -> None:
@@ -555,7 +573,8 @@ class JobManager:
                     self.run_round(job)
                     progressed = True
                 elif job.flush_requested:
-                    job.flush_requested = False
+                    with job.cond:
+                        job.flush_requested = False
             if not progressed:
                 with self._wake:
                     self._wake.wait(timeout=0.05)
@@ -564,7 +583,8 @@ class JobManager:
         """Drain the queue and process the new log suffix as one round."""
         with job.run_lock:
             job.drain_queue()
-            job.flush_requested = False
+            with job.cond:
+                job.flush_requested = False
             new_events = len(job.log) - job.events_processed
             if new_events == 0 and not terminal:
                 return None
@@ -596,8 +616,9 @@ class JobManager:
                         }
                     )
                     if len(job.restarts) > job.max_restarts:
-                        job.state = JobState.FAILED
-                        job.failure = f"restart budget exhausted: {exc}"
+                        with job.cond:
+                            job.state = JobState.FAILED
+                            job.failure = f"restart budget exhausted: {exc}"
                         return None
                     continue
             # Round-boundary cut: the next round resumes exactly here.
@@ -615,8 +636,9 @@ class JobManager:
                 else round_tree
             )
             if result.failed:
-                job.state = JobState.FAILED
-                job.failure = result.failure
+                with job.cond:
+                    job.state = JobState.FAILED
+                    job.failure = result.failure
             return result
 
     # -- drain / shutdown --------------------------------------------------
@@ -656,6 +678,7 @@ class JobManager:
             "failure": job.failure,
             "queries": list(job.query_names),
             "shared_scans": job.shared_scans,
+            "sharing": job.sharing,
             "event_types": sorted(job.event_types),
             "admission": job.admission,
             "queue_limit": job.queue_limit,

@@ -1,0 +1,38 @@
+"""Seeded concurrency-lint violations — a *fixture*, never imported.
+
+``repro lint --self --self-path tests/fixtures/concurrency_violations.py``
+must FAIL on this file; the CI gate asserts exactly that (an inverted
+check), and ``tests/test_concurrency_lint.py`` keys on the codes. One
+block per RA82x family:
+
+* RA821 — blocking calls inside async handlers
+* RA822 — a lock-owned attribute written without the lock
+* RA823 — iterating an unordered set on an output path
+"""
+
+import threading
+import time
+
+
+async def handle_request(payload):  # RA821: time.sleep in an async def
+    time.sleep(0.1)
+    with open("/tmp/out") as fh:  # RA821: blocking file I/O
+        return fh.read() + str(payload)
+
+
+class Counter:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self.lock:
+            self.total += n
+
+    def reset(self):  # RA822: lock-owned attribute written without it
+        self.total = 0
+
+
+def routes(event_types, streams):
+    needed = set(event_types)
+    return {t: streams[t] for t in needed}  # RA823: unordered set iteration

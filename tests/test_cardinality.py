@@ -1,0 +1,208 @@
+"""Tests for the cardinality/state abstract interpretation (RA80x).
+
+The same interpreter powers the optimizer's point estimates
+(``estimate_plan`` delegates to it) and the verifier's guaranteed
+bounds, so besides the negative tests per code this file pins the
+point-vs-bounds consistency across the whole catalog.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.cardinality import (
+    Interval,
+    plan_bounds,
+    plan_cardinality_diagnostics,
+)
+from repro.asp.datamodel import TypeRegistry
+from repro.asp.time import minutes
+from repro.mapping.advisor import recommend_options
+from repro.mapping.optimizer.build import build_plan
+from repro.mapping.optimizer.cost import StaticCostModel, estimate_plan
+from repro.mapping.optimizer.ir import (
+    IterationInfo,
+    JoinKind,
+    LogicalPlan,
+    PlanFeatures,
+    StreamScan,
+    WindowJoin,
+    WindowStrategy,
+)
+from repro.patterns import CATALOG
+from repro.sea.parser import parse_pattern
+
+MIN = minutes(1)
+
+
+def _iteration_chain_plan(unbounded: bool, window_size: int = 5 * MIN) -> LogicalPlan:
+    """A join-mapped ITER chain, hand-built.
+
+    ``build_plan`` forces Kleene+ onto the O2 aggregate mapping precisely
+    because the join chain is unbounded, so the RA801 input has to be
+    constructed directly — this is the plan shape the guard exists for.
+    """
+    left = StreamScan("V", "v[1]")
+    right = StreamScan("V", "v[2]")
+    join = WindowJoin(
+        left=left,
+        right=right,
+        kind=JoinKind.THETA,
+        strategy=WindowStrategy.SLIDING,
+        ordered=True,
+        window_size=window_size,
+        window_slide=MIN,
+    )
+    features = PlanFeatures(
+        root_kind="ITER",
+        iterations=(
+            IterationInfo(
+                event_type="V",
+                alias="v",
+                count=2,
+                unbounded=unbounded,
+                condition_kind=None,
+            ),
+        ),
+    )
+    return LogicalPlan(join, "iter-chain", window_size, MIN, features=features)
+
+
+class TestRA801:
+    def test_unbounded_iteration_join_chain_is_flagged(self):
+        diags = plan_cardinality_diagnostics(_iteration_chain_plan(unbounded=True))
+        ra801 = [d for d in diags if d.code == "RA801"]
+        assert len(ra801) == 1  # one per cause, not one per ancestor
+        assert ra801[0].is_error
+        assert "Kleene" in ra801[0].message
+
+    def test_bounded_iteration_chain_is_clean(self):
+        diags = plan_cardinality_diagnostics(_iteration_chain_plan(unbounded=False))
+        assert not any(d.code == "RA801" for d in diags)
+
+    def test_non_evicting_window_is_flagged(self):
+        diags = plan_cardinality_diagnostics(
+            _iteration_chain_plan(unbounded=False, window_size=0)
+        )
+        ra801 = [d for d in diags if d.code == "RA801"]
+        assert len(ra801) == 1
+        assert "never evicts" in ra801[0].message
+
+    def test_unbounded_state_shows_in_bounds(self):
+        bounds = plan_bounds(_iteration_chain_plan(unbounded=True), StaticCostModel())
+        assert bounds.total_state.hi == math.inf
+        # The point estimate stays finite: structural unboundedness is a
+        # property of the interval track, not the optimizer's guess.
+        assert math.isfinite(bounds.total_cpu)
+
+
+class TestRA802:
+    def test_pure_cross_product_is_flagged(self):
+        plan = build_plan(
+            parse_pattern("PATTERN AND(Q a, V b) WITHIN 10 MINUTES")
+        )
+        diags = plan_cardinality_diagnostics(plan)
+        ra802 = [d for d in diags if d.code == "RA802"]
+        assert ra802 and not ra802[0].is_error
+        assert "every in-window pair" in ra802[0].message
+
+    def test_theta_predicate_silences_it(self):
+        plan = build_plan(
+            parse_pattern("PATTERN AND(Q a, V b) WHERE a.id = b.id WITHIN 10 MINUTES")
+        )
+        assert not any(
+            d.code == "RA802" for d in plan_cardinality_diagnostics(plan)
+        )
+
+    def test_sequence_order_silences_it(self):
+        plan = build_plan(
+            parse_pattern("PATTERN SEQ(Q a, V b) WITHIN 10 MINUTES")
+        )
+        assert not any(
+            d.code == "RA802" for d in plan_cardinality_diagnostics(plan)
+        )
+
+
+class TestRA803:
+    PATTERN = "PATTERN SEQ(Q a, V b) WITHIN 10 MINUTES SLIDE 1 MINUTE"
+
+    def test_proven_bound_exceeding_budget(self):
+        plan = build_plan(parse_pattern(self.PATTERN))
+        diags = plan_cardinality_diagnostics(
+            plan, registry=TypeRegistry.paper_default(), state_budget=1e-6
+        )
+        ra803 = [d for d in diags if d.code == "RA803"]
+        assert len(ra803) == 1
+        assert "proven state bound" in ra803[0].message
+
+    def test_unproven_bound_names_the_gap(self):
+        # Without a registry the input rates are unknown: the upper bound
+        # is infinite and the check falls back to the point estimate,
+        # saying so explicitly.
+        plan = build_plan(parse_pattern(self.PATTERN))
+        diags = plan_cardinality_diagnostics(plan, state_budget=1e-6)
+        ra803 = [d for d in diags if d.code == "RA803"]
+        assert len(ra803) == 1
+        assert "unproven" in ra803[0].message
+
+    def test_generous_budget_is_clean(self):
+        plan = build_plan(parse_pattern(self.PATTERN))
+        diags = plan_cardinality_diagnostics(
+            plan, registry=TypeRegistry.paper_default(), state_budget=1e12
+        )
+        assert not any(d.code == "RA803" for d in diags)
+
+    def test_no_budget_no_finding(self):
+        plan = build_plan(parse_pattern(self.PATTERN))
+        diags = plan_cardinality_diagnostics(
+            plan, registry=TypeRegistry.paper_default()
+        )
+        assert not any(d.code == "RA803" for d in diags)
+
+
+class TestPointBoundsConsistency:
+    """The optimizer's estimates and the verifier's bounds are one walk."""
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_catalog_point_totals_agree(self, name):
+        pattern = CATALOG[name]()
+        options = recommend_options(pattern).options
+        plan = build_plan(pattern, options)
+        model = StaticCostModel(TypeRegistry.paper_default())
+        cost = estimate_plan(plan, model)
+        bounds = plan_bounds(plan, model)
+        assert cost.total_cpu == bounds.total_cpu
+        assert dict(cost.nodes).keys() == dict(bounds.nodes).keys()
+        for (label, node_cost), (_label, node_bounds) in zip(
+            cost.nodes, bounds.nodes
+        ):
+            assert node_cost == node_bounds.point, label
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_catalog_state_bounds_are_finite_with_registry(self, name):
+        pattern = CATALOG[name]()
+        options = recommend_options(pattern).options
+        plan = build_plan(pattern, options)
+        bounds = plan_bounds(plan, StaticCostModel(TypeRegistry.paper_default()))
+        assert bounds.total_state.bounded, bounds.total_state.render()
+        # Soundness: with known rates the guaranteed upper bound can
+        # never undercut the optimizer's point estimate (selectivities
+        # only discard, they never create events).
+        for label, nb in bounds.nodes:
+            assert nb.state.hi >= nb.point.state, label
+            assert nb.out_rate.hi >= nb.point.out_rate or not nb.out_rate.bounded, label
+
+
+class TestInterval:
+    def test_malformed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 1.0)
+        with pytest.raises(ValueError):
+            Interval(-1.0, 1.0)
+
+    def test_zero_rate_annihilates_unknown(self):
+        assert Interval.point(0.0).scaled(math.inf) == Interval.point(0.0)
+
+    def test_unknown_is_unbounded(self):
+        assert not Interval.unknown().bounded
+        assert Interval.point(3.0).bounded

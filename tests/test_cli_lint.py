@@ -1,8 +1,11 @@
 """CLI coverage for ``repro lint`` (the CI `lint-plans` entry point)."""
 
 import json
+from pathlib import Path
 
 from repro.cli import main
+
+FIXTURE = Path(__file__).parent / "fixtures" / "concurrency_violations.py"
 
 BAD_REF = "PATTERN SEQ(Q a, V b) WHERE a.bogus = b.id WITHIN 15 MINUTES"
 KEYED = "PATTERN SEQ(Q a, V b) WHERE a.id = b.id WITHIN 10 MINUTES"
@@ -69,3 +72,67 @@ class TestLintCli:
         # with real data the inferred schema is closed: warning becomes error
         assert rc == 1
         assert "error[RA101]" in out
+
+    def test_state_budget_flag_warns(self, capsys):
+        rc = main(["lint", "-p", KEYED, "--state-budget", "0.000001"])
+        out = capsys.readouterr().out
+        assert rc == 0  # RA803 is a warning unless --strict
+        assert "RA803" in out
+
+
+class TestSharingMode:
+    def test_catalog_sharing_proof(self, capsys):
+        rc = main(["lint", "--sharing", "--catalog"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shared prefix group(s)" in out
+        assert "subsumed" in out  # the catalog proves a non-trivial share
+        assert "RA811" in out  # and reports at least one near-miss
+
+    def test_sharing_needs_two_queries(self, capsys):
+        rc = main(["lint", "--sharing", "-p", KEYED])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "at least two queries" in err
+
+    def test_sharing_report_file(self, tmp_path, capsys):
+        report_path = tmp_path / "sharing.json"
+        rc = main(["lint", "--sharing", "--catalog", "--report", str(report_path)])
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["kind"] == "repro.lint/v1"
+        assert payload["mode"] == "sharing" and payload["ok"]
+        groups = [g for r in payload["reports"] for g in r.get("groups", [])]
+        assert any(g["level"] == "subsumed" for g in groups)
+
+
+class TestSelfMode:
+    def test_shipped_tree_is_clean(self, capsys):
+        rc = main(["lint", "--self"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "source file set" in out and "OK" in out
+
+    def test_seeded_fixture_fails(self, capsys):
+        rc = main(["lint", "--self", "--self-path", str(FIXTURE)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        for code in ("RA821", "RA822", "RA823"):
+            assert code in out
+
+
+class TestGithubFormat:
+    def test_annotations_are_workflow_commands(self, capsys):
+        rc = main(["lint", "--format", "github", "-p", BAD_REF])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "::warning " in out and "title=RA101" in out
+
+    def test_self_annotations_carry_file_and_line(self, capsys):
+        rc = main(["lint", "--self", "--format", "github",
+                   "--self-path", str(FIXTURE)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "::error file=" in out
+        assert "concurrency_violations.py" in out and ",line=" in out

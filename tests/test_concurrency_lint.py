@@ -1,0 +1,182 @@
+"""Tests for the concurrency self-lint (RA82x)."""
+
+from pathlib import Path
+
+from repro.analysis.concurrency import (
+    lint_runtime_sources,
+    source_concurrency_diagnostics,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "concurrency_violations.py"
+
+
+def codes_of(source):
+    return [d.code for d in source_concurrency_diagnostics(source)]
+
+
+class TestRA821:
+    def test_blocking_call_in_async_def(self):
+        src = (
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1)\n"
+        )
+        assert codes_of(src) == ["RA821"]
+
+    def test_bare_open_in_async_def(self):
+        src = (
+            "async def handler(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+        )
+        assert codes_of(src) == ["RA821"]
+
+    def test_sync_def_is_fine(self):
+        src = (
+            "import time\n"
+            "def worker():\n"
+            "    time.sleep(1)\n"
+        )
+        assert codes_of(src) == []
+
+    def test_passing_the_callable_is_fine(self):
+        # Only *calling* the blocking function inline stalls the loop;
+        # handing it to run_in_executor is exactly the prescribed fix.
+        src = (
+            "import time\n"
+            "async def handler(loop):\n"
+            "    await loop.run_in_executor(None, time.sleep, 1)\n"
+        )
+        assert codes_of(src) == []
+
+    def test_syntax_error_is_reported_not_swallowed(self):
+        diags = source_concurrency_diagnostics("def broken(:\n")
+        assert [d.code for d in diags] == ["RA821"]
+        assert "does not parse" in diags[0].message
+
+
+LOCKED_COUNTER = (
+    "import threading\n"
+    "class Counter:\n"
+    "    def __init__(self):\n"
+    "        self.lock = threading.Lock()\n"
+    "        self.total = 0\n"
+    "    def add(self, n):\n"
+    "        with self.lock:\n"
+    "            self.total += n\n"
+)
+
+
+class TestRA822:
+    def test_unguarded_write_to_lock_owned_attribute(self):
+        src = LOCKED_COUNTER + (
+            "    def reset(self):\n"
+            "        self.total = 0\n"
+        )
+        assert codes_of(src) == ["RA822"]
+
+    def test_constructor_writes_are_exempt(self):
+        # __init__ writes total without the lock; that is
+        # construction-before-publication, not a race.
+        assert codes_of(LOCKED_COUNTER) == []
+
+    def test_suppression_comment(self):
+        src = LOCKED_COUNTER + (
+            "    def reset(self):\n"
+            "        self.total = 0  # lint: unguarded\n"
+        )
+        assert codes_of(src) == []
+
+    def test_mutator_method_counts_as_write(self):
+        src = (
+            "import threading\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self.cond = threading.Condition()\n"
+            "        self.items = []\n"
+            "    def put(self, x):\n"
+            "        with self.cond:\n"
+            "            self.items.append(x)\n"
+            "    def sneak(self, x):\n"
+            "        self.items.append(x)\n"
+        )
+        assert codes_of(src) == ["RA822"]
+
+    def test_attribution_is_file_scoped(self, tmp_path):
+        # File A guards `total` with a lock; file B has an unrelated
+        # attribute of the same name and no locking at all. A global
+        # guard map would flag B — per-file scoping must not.
+        (tmp_path / "a.py").write_text(
+            LOCKED_COUNTER + "    def reset(self):\n        self.total = 0\n"
+        )
+        (tmp_path / "b.py").write_text(
+            "class Tally:\n"
+            "    def bump(self):\n"
+            "        self.total = 1\n"
+        )
+        report = lint_runtime_sources(paths=[tmp_path])
+        sources = [d.source for d in report.diagnostics if d.code == "RA822"]
+        assert len(sources) == 1 and sources[0].startswith(str(tmp_path / "a.py"))
+
+
+class TestRA823:
+    def test_for_loop_over_set(self):
+        src = (
+            "def routes(event_types):\n"
+            "    for t in set(event_types):\n"
+            "        print(t)\n"
+        )
+        assert codes_of(src) == ["RA823"]
+
+    def test_set_typed_local_is_tracked(self):
+        src = (
+            "def routes(event_types, streams):\n"
+            "    needed = set(event_types)\n"
+            "    return {t: streams[t] for t in needed}\n"
+        )
+        assert codes_of(src) == ["RA823"]
+
+    def test_sorted_wrapper_is_the_fix(self):
+        src = (
+            "def routes(event_types, streams):\n"
+            "    needed = set(event_types)\n"
+            "    return {t: streams[t] for t in sorted(needed)}\n"
+        )
+        assert codes_of(src) == []
+
+    def test_reassignment_clears_the_taint(self):
+        src = (
+            "def routes(event_types):\n"
+            "    needed = set(event_types)\n"
+            "    needed = sorted(needed)\n"
+            "    return [t for t in needed]\n"
+        )
+        assert codes_of(src) == []
+
+    def test_set_comprehension_from_set_is_order_free(self):
+        src = (
+            "def upper(event_types):\n"
+            "    return {t.upper() for t in set(event_types)}\n"
+        )
+        assert codes_of(src) == []
+
+    def test_set_union_expression(self):
+        src = (
+            "def both(a, b):\n"
+            "    return [t for t in set(a) | set(b)]\n"
+        )
+        assert codes_of(src) == ["RA823"]
+
+
+class TestShippedTree:
+    def test_runtime_sources_are_clean(self):
+        # The CI gate `repro lint --self`: our own service + execution
+        # core must satisfy the invariants the lint encodes.
+        report = lint_runtime_sources()
+        assert report.ok(), report.render()
+
+    def test_seeded_fixture_fails(self):
+        report = lint_runtime_sources(paths=[FIXTURE])
+        assert not report.ok()
+        codes = {d.code for d in report.diagnostics}
+        assert codes == {"RA821", "RA822", "RA823"}

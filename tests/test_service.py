@@ -187,6 +187,56 @@ class TestSubmit:
             JobManager().submit({"query": {"pattern": "SEQ(Q q,"}})
         assert err.value.status == 400 and err.value.code == "bad-pattern"
 
+    def test_sharing_conflict_rejects_co_submission(self):
+        # Both queries pass their individual lints, but their bare Q
+        # scans form one shared prefix while the O3 overrides demand
+        # different partition keys — the prover's RA813 makes the merged
+        # submit a structured 400.
+        with pytest.raises(ServiceError) as err:
+            JobManager().submit(
+                {"queries": [
+                    {"pattern": "PATTERN SEQ(Q a, Q b) WHERE a.id = b.id "
+                                "WITHIN 10 MINUTES",
+                     "name": "by-id", "options": {"o3": "id"}},
+                    {"pattern": "PATTERN SEQ(Q a, Q b) WHERE a.value = b.value "
+                                "WITHIN 10 MINUTES",
+                     "name": "by-value", "options": {"o3": "value"}},
+                ]}
+            )
+        assert err.value.code == "sharing-conflict"
+        assert err.value.status == 400
+        assert any(d["code"] == "RA813" for d in err.value.details)
+
+    def test_aligned_partition_keys_are_accepted_with_proof(self):
+        manager = JobManager()
+        info = manager.submit(
+            {"queries": [
+                {"pattern": "PATTERN SEQ(Q a, Q b) WHERE a.id = b.id "
+                            "WITHIN 10 MINUTES",
+                 "name": "one", "options": {"o3": "id"}},
+                {"pattern": "PATTERN SEQ(Q a, Q b) WHERE a.id = b.id "
+                            "WITHIN 10 MINUTES",
+                 "name": "two", "options": {"o3": "id"}},
+            ]}
+        )
+        status = manager.job_status(info["id"])
+        assert status["sharing"] is not None and status["sharing"]["ok"]
+        assert status["sharing"]["groups"], "expected a proven shared prefix"
+
+    def test_format_service_error_renders_diagnostics(self):
+        from repro.runtime.service import format_service_error
+
+        with pytest.raises(ServiceError) as err:
+            JobManager().submit(
+                {"query": {"pattern":
+                           "PATTERN SEQ(Q a, V b) "
+                           "WHERE a.bogus = b.id "
+                           "WITHIN 15 MINUTES"}}
+            )
+        text = format_service_error(err.value)
+        assert text.startswith("static-analysis (HTTP 400)")
+        assert "[RA101]" in text  # one rendered line per diagnostic
+
     def test_static_analysis_rejection_carries_diagnostics(self):
         # An unresolvable attribute reference is an error-level
         # diagnostic: the submit must fail as a structured 400 whose

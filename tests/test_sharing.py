@@ -1,0 +1,252 @@
+"""Tests for the multi-query sharability prover (RA81x).
+
+Negative tests pin each near-miss code; the hypothesis property at the
+bottom is the soundness contract the compiler leans on: whatever the
+prover lets ``translate_many`` merge, batch execution stays exactly
+equal to running every query alone.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.sharing import Bound, prove_sharability, scan_pipelines
+from repro.asp.datamodel import Event
+from repro.asp.operators.source import ListSource
+from repro.asp.time import minutes
+from repro.mapping.multiquery import translate_many
+from repro.mapping.optimizations import TranslationOptions
+from repro.mapping.optimizer.build import build_plan
+from repro.mapping.translator import translate
+from repro.sea.parser import parse_pattern
+
+MIN = minutes(1)
+
+
+def submission(text, name, options=None):
+    pattern = parse_pattern(text, name=name)
+    return (name, build_plan(pattern, options), options)
+
+
+def prove(*texts, options=None):
+    subs = [
+        submission(text, f"q{i}", None if options is None else options[i])
+        for i, text in enumerate(texts)
+    ]
+    return prove_sharability(subs)
+
+
+def make_stream(seed, n=120):
+    rng = random.Random(seed)
+    return [
+        Event(
+            rng.choice(["Q", "V"]),
+            ts=i * MIN,
+            id=rng.randint(1, 3),
+            value=round(rng.uniform(0, 100), 3),
+        )
+        for i in range(n)
+    ]
+
+
+def sources_for(events):
+    by_type = {}
+    for e in events:
+        by_type.setdefault(e.event_type, []).append(e)
+    return {t: ListSource(v, name=t, event_type=t) for t, v in by_type.items()}
+
+
+class TestShareLevels:
+    def test_exact_share(self):
+        report = prove(
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "PATTERN AND(Q a, V b) WHERE a.value > 50 AND b.id = a.id WITHIN 6 MINUTES SLIDE 1 MINUTE",
+        )
+        assert report.ok()
+        exact = [g for g in report.groups if g.level == "exact"]
+        assert any(g.event_type == "Q" for g in exact)
+        group = next(g for g in exact if g.event_type == "Q")
+        assert group.windows_aligned
+        assert all(not residual for _q, _a, residual in group.residuals)
+
+    def test_subsumed_share_carries_weakest_bound(self):
+        report = prove(
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 80 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+        )
+        assert report.ok()
+        (group,) = [g for g in report.groups if g.level == "subsumed"]
+        assert group.shared_bound == Bound("value", "gt", ">", 50.0)
+        assert group.shared_filters == ("a.value > 50.0",)
+        residuals = {q: f for q, _a, f in group.residuals}
+        assert residuals["q1"] == ()  # the weakest member needs no residual
+        assert residuals["q0"]  # the tighter member re-filters
+
+    def test_bucketing_splits_directions_not_pairs(self):
+        # Two gt-bounds and one lt-bound on the same attribute: the gt
+        # pair merges into its own group; only the cross-direction pairs
+        # are near-misses. The old pairwise formulation reported all
+        # three pairs as blocked.
+        report = prove(
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 80 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "PATTERN SEQ(Q a, V b) WHERE a.value < 10 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+        )
+        subsumed = [g for g in report.groups if g.level == "subsumed"]
+        assert len(subsumed) == 1
+        assert set(subsumed[0].queries) == {"q0", "q1"}
+        ra811 = [d for d in report.diagnostics if d.code == "RA811"]
+        assert len(ra811) == 2  # q0-vs-q2 and q1-vs-q2 only
+        assert all("q2" in d.message for d in ra811)
+
+
+class TestNearMisses:
+    def test_ra811_opposite_directions(self):
+        report = prove(
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "PATTERN SEQ(Q a, V b) WHERE a.value < 10 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+        )
+        assert not any(g.level == "subsumed" for g in report.groups)
+        (diag,) = [d for d in report.diagnostics if d.code == "RA811"]
+        assert not diag.is_error
+        assert "opposite directions" in diag.message
+
+    def test_ra811_different_attributes(self):
+        report = prove(
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "PATTERN SEQ(Q a, V b) WHERE a.id > 1 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+        )
+        (diag,) = [d for d in report.diagnostics if d.code == "RA811"]
+        assert "different attributes" in diag.message
+
+    def test_ra812_window_mismatch_still_shares_scan(self):
+        report = prove(
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 50 WITHIN 12 MINUTES SLIDE 1 MINUTE",
+        )
+        assert report.ok()  # a warning, not an error
+        group = next(g for g in report.groups if g.event_type == "Q")
+        assert not group.windows_aligned
+        ra812 = [d for d in report.diagnostics if d.code == "RA812"]
+        assert ra812 and "window extents" in ra812[0].message
+
+    def test_ra813_partition_conflict_is_an_error(self):
+        text_id = "PATTERN SEQ(Q a, Q b) WHERE a.id = b.id AND a.value > 50 AND b.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE"
+        text_val = "PATTERN SEQ(Q a, Q b) WHERE a.value = b.value AND a.value > 50 AND b.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE"
+        report = prove(
+            text_id,
+            text_val,
+            options=[TranslationOptions.o3("id"), TranslationOptions.o3("value")],
+        )
+        assert not report.ok()
+        ra813 = [d for d in report.diagnostics if d.code == "RA813"]
+        assert ra813 and ra813[0].is_error
+        assert "single O3 partition key" in ra813[0].message
+
+    def test_aligned_partition_keys_pass(self):
+        text = "PATTERN SEQ(Q a, Q b) WHERE a.id = b.id AND a.value > 50 AND b.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE"
+        report = prove(
+            text, text, options=[TranslationOptions.o3("id")] * 2
+        )
+        assert report.ok()
+
+
+class TestScanPipelines:
+    def test_normalization_matches_rewrite_order(self):
+        # Filters listed in either order produce the same signature, so
+        # phase-1 and phase-2 plans meet at the same share key.
+        a = submission(
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 50 AND a.value < 90 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "x",
+        )
+        b = submission(
+            "PATTERN SEQ(Q a, V b) WHERE a.value < 90 AND a.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "y",
+        )
+        sig_a = next(p for p in scan_pipelines("x", a[1]) if p.event_type == "Q").signature
+        sig_b = next(p for p in scan_pipelines("y", b[1]) if p.event_type == "Q").signature
+        assert sig_a == sig_b
+
+    def test_effective_bound_takes_tightest_conjunct(self):
+        sub = submission(
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 50 AND a.value > 70 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+            "x",
+        )
+        pipe = next(p for p in scan_pipelines("x", sub[1]) if p.event_type == "Q")
+        assert pipe.effective_bound() == Bound("value", "gt", ">", 70.0)
+
+    def test_single_query_never_groups(self):
+        report = prove(
+            "PATTERN SEQ(Q a, Q b) WHERE a.value > 50 AND b.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+        )
+        assert report.groups == ()
+
+
+class TestCompiledSubsumption:
+    TEXTS = [
+        "PATTERN SEQ(Q a, V b) WHERE a.value > 80 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+        "PATTERN SEQ(Q a, V b) WHERE a.value > 50 WITHIN 6 MINUTES SLIDE 1 MINUTE",
+    ]
+
+    def test_translate_many_reports_the_proof(self):
+        patterns = [parse_pattern(t, name=f"p{i}") for i, t in enumerate(self.TEXTS)]
+        multi = translate_many(patterns, sources_for(make_stream(21)))
+        assert multi.sharing is not None and multi.sharing.ok()
+        assert any(g.level == "subsumed" for g in multi.sharing.groups)
+        assert "subsumed" in multi.explain()
+
+    def test_subsumed_batch_equals_individual_runs(self):
+        events = make_stream(22)
+        patterns = [parse_pattern(t, name=f"p{i}") for i, t in enumerate(self.TEXTS)]
+        multi = translate_many(patterns, sources_for(events))
+        multi.execute()
+        for index, text in enumerate(self.TEXTS):
+            single = translate(parse_pattern(text), sources_for(events))
+            single.execute()
+            got = {m.dedup_key() for m in multi.matches_of(index)}
+            want = {m.dedup_key() for m in single.matches()}
+            assert got == want, text
+
+
+# -- the soundness property -----------------------------------------------
+
+OPS = [">", ">=", "<", "<="]
+VALUES = [10.0, 25.0, 50.0, 75.0, 90.0]
+
+
+@st.composite
+def workloads(draw):
+    """2-3 single-bound queries over Q/V with varied windows — exercising
+    exact, subsumed and blocked share decisions in one batch."""
+    n = draw(st.integers(min_value=2, max_value=3))
+    queries = []
+    for _ in range(n):
+        alias_attr = draw(st.sampled_from(["a.value", "a.id", "b.value"]))
+        op = draw(st.sampled_from(OPS))
+        value = draw(st.sampled_from(VALUES))
+        window = draw(st.sampled_from([4, 6]))
+        queries.append(
+            f"PATTERN SEQ(Q a, V b) WHERE {alias_attr} {op} {value} "
+            f"WITHIN {window} MINUTES SLIDE 1 MINUTE"
+        )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return queries, seed
+
+
+@settings(max_examples=30, deadline=None)
+@given(workloads())
+def test_prover_soundness_batch_equals_individual(workload):
+    """Whatever the prover classifies, the merged dataflow's matches are
+    exactly the per-query matches — the prover never lets ``translate_many``
+    merge scans whose outputs could differ."""
+    texts, seed = workload
+    events = make_stream(seed)
+    patterns = [parse_pattern(t, name=f"p{i}") for i, t in enumerate(texts)]
+    multi = translate_many(patterns, sources_for(events))
+    multi.execute()
+    for index, text in enumerate(texts):
+        single = translate(parse_pattern(text), sources_for(events))
+        single.execute()
+        got = {m.dedup_key() for m in multi.matches_of(index)}
+        want = {m.dedup_key() for m in single.matches()}
+        assert got == want, (text, multi.sharing and multi.sharing.render())

@@ -17,6 +17,8 @@ Formats:
            ``benchmarks.common.record_rows``: per-cell throughput.
 ``serve``  a ``tools/serve_smoke.py --report`` file: per-query
            server-vs-batch match counts and byte-identity.
+``lint``   a ``repro lint --report`` file (``repro.lint/v1``): per-code
+           diagnostic counts and the worst findings.
 
 Missing files render a note instead of failing — summaries must never
 mask the real job status.
@@ -102,7 +104,59 @@ def render_serve(report: dict) -> list[str]:
     return lines
 
 
-RENDERERS = {"chaos": render_chaos, "bench": render_bench, "serve": render_serve}
+def render_lint(report: dict) -> list[str]:
+    mode = report.get("mode", "plan")
+    lines = [
+        f"## Static analysis ({mode} lint)",
+        "",
+        f"{report.get('errors', '?')} error(s), "
+        f"{report.get('warnings', '?')} warning(s) over "
+        f"{len(report.get('reports', []))} target(s).",
+        "",
+    ]
+    diags = [
+        (sub.get("target", ""), d)
+        for sub in report.get("reports", [])
+        for d in sub.get("diagnostics", [])
+    ]
+    if diags:
+        lines += [
+            "| severity | code | target | message |",
+            "| --- | --- | --- | --- |",
+        ]
+        order = {"error": 0, "warning": 1}
+        diags.sort(key=lambda td: (order.get(td[1].get("severity"), 2), td[1].get("code", "")))
+        for target, diag in diags[:20]:
+            severity = diag.get("severity", "?")
+            if severity == "error":
+                severity = "**error**"
+            where = diag.get("where") or target
+            lines.append(
+                f"| {severity} | `{diag.get('code', '?')}` "
+                f"| {_cell(where)} | {_cell(diag.get('message', ''))} |"
+            )
+        if len(diags) > 20:
+            lines.append(f"| … | | | {len(diags) - 20} more |")
+        lines.append("")
+    # Sharing proofs: surface what was proven, not only what failed.
+    for sub in report.get("reports", []):
+        for group in sub.get("groups", []) or []:
+            shared = " AND ".join(group.get("shared_filters", []))
+            lines.append(
+                f"- shared prefix ({group.get('level')}): `{group.get('event_type')}`"
+                f" [{_cell(shared)}] across {', '.join(group.get('queries', []))}"
+            )
+    verdict = "**OK**" if report.get("ok") else "**FAIL**"
+    lines += ["", f"Verdict: {verdict}"]
+    return lines
+
+
+RENDERERS = {
+    "chaos": render_chaos,
+    "bench": render_bench,
+    "serve": render_serve,
+    "lint": render_lint,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
