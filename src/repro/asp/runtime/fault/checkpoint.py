@@ -94,6 +94,22 @@ class CheckpointCoordinator:
         self.duration.observe(self.clock.now() - started)
         return checkpoint
 
+    def save_payload(self, payload: bytes, offset: int) -> Checkpoint:
+        """Persist an externally captured state blob (same accounting).
+
+        The serve data plane's process-mode rounds capture shard state in
+        a worker process and ship the pickled payload back; the parent
+        coordinator owns ids, retention and the overhead metrics.
+        """
+        started = self.clock.now()
+        checkpoint = Checkpoint(self._next_id, offset, payload)
+        self.store.save(checkpoint)
+        self._next_id += 1
+        self.count += 1
+        self.bytes_total += checkpoint.size_bytes
+        self.duration.observe(self.clock.now() - started)
+        return checkpoint
+
     def restore_into(self, job: "SerialJob", checkpoint: Checkpoint) -> None:
         restore_job_state(job, unpickle_payload(checkpoint.payload))
 

@@ -551,7 +551,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     The drain checkpoints every live job (terminal round: queued events
     processed, windows flushed, state snapshotted) before the process
-    exits, so a restart with the same ``--checkpoint-dir`` can resume.
+    exits. With ``--state-dir`` the whole data plane is durable — job
+    manifests, progress, checkpoints and the ingestion WAL — so even a
+    kill −9 can be followed by a restart against the same directory that
+    resumes every non-terminal job exactly where the log left off.
     """
     import asyncio
     import json
@@ -571,6 +574,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_out_of_orderness=args.max_out_of_orderness,
         optimize=args.optimize,
         checkpoint_dir=args.checkpoint_dir,
+        state_dir=args.state_dir,
+        job_backend=args.job_backend,
+        job_shards=args.job_shards,
+        shard_mode=args.job_shard_mode,
+        round_slo_ms=args.round_slo_ms,
     )
     service = ReproService(
         JobManager(config),
@@ -788,6 +796,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-dir", metavar="DIR",
                        help="durable per-job checkpoints under DIR "
                             "(default: in-memory)")
+    serve.add_argument("--state-dir", metavar="DIR",
+                       help="full durable state root (checkpoints + job "
+                            "manifests + ingestion WAL): a restart against "
+                            "the same DIR resumes every non-terminal job")
+    serve.add_argument("--job-backend", choices=("auto", "serial", "sharded"),
+                       default="auto",
+                       help="round execution backend; 'auto' shards exactly "
+                            "when the plan passes the partition-safety proof")
+    serve.add_argument("--job-shards", type=int, default=2, metavar="N",
+                       help="shard count for sharded jobs")
+    serve.add_argument("--job-shard-mode", choices=("auto", "process", "inline"),
+                       default="auto",
+                       help="sharded round dispatch: worker processes or "
+                            "inline ('auto' picks by machine)")
+    serve.add_argument("--round-slo-ms", type=int, default=None, metavar="MS",
+                       help="round latency SLO: trigger a round once the "
+                            "oldest queued event has waited MS milliseconds")
     serve.add_argument("--max-restarts", type=int, default=3,
                        help="per-job restart budget")
     serve.add_argument("--batch-size", type=int, default=1, metavar="N",

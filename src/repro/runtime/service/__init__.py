@@ -34,27 +34,35 @@ from repro.runtime.service.events import (
 )
 from repro.runtime.service.jobs import (
     AdmissionPolicy,
+    JobBackend,
     JobManager,
     JobState,
     ServiceConfig,
 )
+from repro.runtime.service.rounds import SHARD_MODES
 from repro.runtime.service.server import ReproService, ServiceHandle, start_in_thread
+from repro.runtime.service.state import ServiceState
 from repro.runtime.service.client import (
     ServiceClient,
+    backoff_schedule,
     format_service_error,
     stream_events,
 )
 
 __all__ = [
     "AdmissionPolicy",
+    "JobBackend",
     "JobManager",
     "JobState",
     "ReproService",
+    "SHARD_MODES",
     "ServiceClient",
     "ServiceConfig",
     "ServiceHandle",
+    "ServiceState",
     "SourceTracker",
     "WireError",
+    "backoff_schedule",
     "event_from_wire",
     "event_to_wire",
     "format_service_error",

@@ -11,11 +11,37 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Any, Iterable, Sequence
 
 from repro.asp.datamodel import Event
 from repro.errors import ServiceError
 from repro.runtime.service.events import event_to_wire
+
+#: Transient transport failures worth retrying: the server is booting
+#: (connection refused, e.g. right after a restart) or died mid-exchange
+#: (reset / dropped connection). HTTP-level errors are never retried —
+#: a 4xx/5xx means the server *answered*.
+_TRANSIENT_ERRORS = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+)
+
+
+def backoff_schedule(
+    retries: int, base_ms: float = 50.0, cap_ms: float = 2000.0
+) -> list[float]:
+    """Delays (ms) between transient-error retries: capped exponential.
+
+    ``base_ms * 2**attempt`` clamped to ``cap_ms`` — deterministic (no
+    jitter) so tests can assert the exact schedule; the cap keeps a
+    restarting server's worst-case reconnect wait bounded.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    return [min(base_ms * (2.0**attempt), cap_ms) for attempt in range(retries)]
 
 
 def format_service_error(exc: ServiceError) -> str:
@@ -43,12 +69,30 @@ def format_service_error(exc: ServiceError) -> str:
 
 
 class ServiceClient:
-    """Thin JSON-over-HTTP client for the control API."""
+    """Thin JSON-over-HTTP client for the control API.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30):
+    ``retries`` > 0 makes :meth:`request` retry transient transport
+    failures (connection refused / reset / dropped) on the capped
+    exponential :func:`backoff_schedule` — enough to ride out a server
+    restart. The default is 0: every request opens a fresh connection
+    and requests are not assumed idempotent by the transport.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30,
+        retries: int = 0,
+        backoff_base_ms: float = 50.0,
+        backoff_cap_ms: float = 2000.0,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base_ms = backoff_base_ms
+        self.backoff_cap_ms = backoff_cap_ms
 
     def request(
         self, method: str, path: str, body: bytes | dict[str, Any] | None = None
@@ -56,6 +100,26 @@ class ServiceClient:
         """One request; returns ``(status, decoded JSON document)``."""
         if isinstance(body, dict):
             body = json.dumps(body).encode("utf-8")
+        delays = backoff_schedule(
+            self.retries, self.backoff_base_ms, self.backoff_cap_ms
+        )
+        for attempt, delay_ms in enumerate([*delays, None]):
+            try:
+                return self._request_once(method, path, body)
+            except _TRANSIENT_ERRORS as exc:
+                if delay_ms is None:
+                    raise ServiceError(
+                        "unreachable",
+                        f"{method} {path} failed after {attempt + 1} "
+                        f"attempt(s): {exc}",
+                        status=503,
+                    ) from exc
+                time.sleep(delay_ms / 1000.0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self, method: str, path: str, body: bytes | None
+    ) -> tuple[int, dict[str, Any]]:
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             conn.request(
@@ -101,6 +165,9 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         return self._checked("DELETE", f"/jobs/{job_id}")
+
+    def cancel_tenant(self, job_id: str, tenant: str) -> dict[str, Any]:
+        return self._checked("DELETE", f"/jobs/{job_id}/tenants/{tenant}")
 
     def flush(self, job_id: str) -> dict[str, Any]:
         return self._checked("POST", f"/jobs/{job_id}/flush")

@@ -183,6 +183,41 @@ class SourceTracker:
         self.last_seq[source] = seq
         return True
 
+    def record(self, source: str | None, seq: int | None) -> None:
+        """Forced replay update: advance ``last_seq`` with no dup/gap
+        accounting.
+
+        Used when the durable ingestion log is replayed after a restart —
+        every replayed line was *already* admitted by a previous
+        incarnation, so the dedup horizon must advance exactly to where
+        it was, without recounting the events as fresh traffic.
+        """
+        if source is None or seq is None:
+            return
+        last = self.last_seq.get(source)
+        if last is None or seq > last:
+            self.last_seq[source] = seq
+
+    def snapshot(self) -> dict[str, Any]:
+        """Durable dedup/watermark state; inverse of :meth:`restore`."""
+        return {
+            "last_seq": dict(self.last_seq),
+            "watermarks": dict(self.watermarks),
+            "duplicates": self.duplicates,
+            "gaps": self.gaps,
+            "events": self.events,
+        }
+
+    def restore(self, data: Mapping[str, Any]) -> None:
+        """Restore a :meth:`snapshot`; replayed duplicates stay dropped."""
+        self.last_seq = {str(k): int(v) for k, v in data.get("last_seq", {}).items()}
+        self.watermarks = {
+            str(k): int(v) for k, v in data.get("watermarks", {}).items()
+        }
+        self.duplicates = int(data.get("duplicates", 0))
+        self.gaps = int(data.get("gaps", 0))
+        self.events = int(data.get("events", 0))
+
     def heartbeat(self, source: str | None, ts: int) -> None:
         key = source or ""
         if ts > self.watermarks.get(key, -1):

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -62,10 +63,33 @@ from repro.mapping.multiquery import translate_many
 from repro.mapping.optimizations import TranslationOptions
 from repro.mapping.optimizer import OPTIMIZE_MODES
 from repro.mapping.translator import translate
+from repro.runtime.service.events import (
+    SourceTracker,
+    event_from_wire,
+    event_to_wire,
+)
+from repro.runtime.service.rounds import (
+    SHARD_MODES,
+    run_sharded_round,
+    shutdown_pool,
+)
+from repro.runtime.service.state import ServiceState
 from repro.sea.parser import parse_pattern
 
 #: Admission policies for a full ingress queue.
 AdmissionPolicy = ("reject", "block")
+
+#: Execution backends for a job's rounds; "auto" picks "sharded" exactly
+#: when every plan carries a partition attribute and the merged dataflow
+#: passes the RA40x partition-safety proof.
+JobBackend = ("auto", "serial", "sharded")
+
+
+#: Bucket edges (ms) of the round trigger-latency / duration histograms.
+_ROUND_MS_BOUNDS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
 
 
 class JobState:
@@ -102,8 +126,21 @@ class ServiceConfig:
     #: Optimizer mode applied at submit ("off"/"static"/"profile").
     optimize: str = "off"
     #: Directory for durable checkpoints (per-job subdirectories); None
-    #: keeps checkpoints in memory.
+    #: keeps checkpoints in memory. Alias of ``state_dir`` kept for
+    #: compatibility — ``state_dir`` is the full durable root (WAL + job
+    #: manifests + checkpoints) and wins when both are set.
     checkpoint_dir: str | None = None
+    #: Durable state root enabling kill −9 → restart → resume.
+    state_dir: str | None = None
+    #: Default execution backend for submitted jobs.
+    job_backend: str = "auto"
+    #: Shard count for sharded jobs.
+    job_shards: int = 2
+    #: Sharded round dispatch: worker processes, inline, or auto.
+    shard_mode: str = "auto"
+    #: Round SLO (ms): trigger a round once the oldest queued event has
+    #: waited this long, independent of count/flush. None disables.
+    round_slo_ms: int | None = None
 
     def __post_init__(self) -> None:
         if self.admission not in AdmissionPolicy:
@@ -112,6 +149,19 @@ class ServiceConfig:
             raise ValueError("queue_limit must be >= 1")
         if self.round_events < 1:
             raise ValueError("round_events must be >= 1")
+        if self.job_backend not in JobBackend:
+            raise ValueError(f"job_backend must be one of {JobBackend}")
+        if self.job_shards < 1:
+            raise ValueError("job_shards must be >= 1")
+        if self.shard_mode not in SHARD_MODES:
+            raise ValueError(f"shard_mode must be one of {SHARD_MODES}")
+        if self.round_slo_ms is not None and self.round_slo_ms < 1:
+            raise ValueError("round_slo_ms must be >= 1")
+
+    @property
+    def durable_dir(self) -> str | None:
+        """The effective durable root (``state_dir`` over the alias)."""
+        return self.state_dir or self.checkpoint_dir
 
 
 @dataclass
@@ -139,6 +189,26 @@ class Job:
     #: The co-submission's sharability proof (a SharingReport as_dict),
     #: None for single-query jobs.
     sharing: dict[str, Any] | None = None
+    #: Round execution backend ("serial" or "sharded") plus its knobs.
+    backend: str = "serial"
+    shards: int = 1
+    key_attribute: str | None = None
+    shard_mode: str = "inline"
+    #: True when the job carries a fault plan (forces inline dispatch —
+    #: injected crashes must fire exactly once across restarts).
+    fault_active: bool = False
+    #: Per-shard checkpoint namespaces/coordinators/injectors (sharded).
+    shard_stores: list[Any] = field(default_factory=list)
+    shard_coordinators: list[CheckpointCoordinator] = field(default_factory=list)
+    shard_injectors: list[FaultInjector] = field(default_factory=list)
+    #: Round SLO (ms); None disables deadline-triggered rounds.
+    round_slo_ms: int | None = None
+    #: Monotonic enqueue time of the oldest queued event (SLO clock).
+    pending_since: float | None = None
+    #: Per-tenant lifecycle of a shared-scan group ("running"/"cancelled").
+    tenant_states: dict[str, str] = field(default_factory=dict)
+    #: Match keys frozen at per-tenant cancel time (served thereafter).
+    frozen_matches: dict[str, list[str]] = field(default_factory=dict)
     state: str = JobState.RUNNING
     failure: str | None = None
     log: list[Event] = field(default_factory=list)
@@ -163,6 +233,16 @@ class Job:
         self.blocked = scope.counter("admission.blocked")
         self.queue_depth = scope.gauge("queue.depth", agg="max")
         self.log_size = scope.gauge("log.size", agg="max")
+        rounds_scope = self.registry.scope("rounds")
+        #: Time from the oldest event's enqueue to its round starting —
+        #: the quantity the round SLO bounds (histograms in ms).
+        self.trigger_latency_ms = rounds_scope.histogram(
+            "trigger_latency_ms", bounds=_ROUND_MS_BOUNDS
+        )
+        self.round_duration_ms = rounds_scope.histogram(
+            "duration_ms", bounds=_ROUND_MS_BOUNDS
+        )
+        self.slo_rounds = rounds_scope.counter("slo_triggered")
 
     # -- ingestion ---------------------------------------------------------
 
@@ -194,6 +274,8 @@ class Job:
                         "reason": "queue-full",
                         "retry_after_ms": self.retry_after_ms,
                     }
+            if not self.queue:
+                self.pending_since = time.monotonic()
             self.queue.append(event)
             self.accepted.inc()
             self.queue_depth.set(len(self.queue))
@@ -207,6 +289,7 @@ class Job:
             if moved:
                 self.log.extend(self.queue)
                 self.queue.clear()
+            self.pending_since = None
             self.queue_depth.set(0)
             self.log_size.set(len(self.log))
             self.cond.notify_all()
@@ -217,12 +300,57 @@ class Job:
         with self.cond:
             return len(self.queue)
 
+    def slo_due(self, now: float) -> bool:
+        """True when the oldest queued event has outwaited the round SLO."""
+        with self.cond:
+            if self.round_slo_ms is None or self.pending_since is None:
+                return False
+            if not self.queue:
+                return False
+            return (now - self.pending_since) * 1000.0 >= self.round_slo_ms
+
+    def queue_age_ms(self, now: float) -> float | None:
+        """Age of the oldest queued event (None when the queue is empty)."""
+        with self.cond:
+            if self.pending_since is None or not self.queue:
+                return None
+            return (now - self.pending_since) * 1000.0
+
+    def record_restart(
+        self, exc: InjectedFaultError, resumed_from: int, shard: int | None = None
+    ) -> bool:
+        """Account one injected-crash restart; False once the budget is gone
+        (the job is marked failed)."""
+        entry: dict[str, Any] = {
+            "failed_at_event": exc.at_event,
+            "resumed_from_offset": resumed_from,
+            "round": self.rounds,
+        }
+        if shard is not None:
+            entry["shard"] = shard
+        with self.cond:
+            self.restarts.append(entry)
+            if len(self.restarts) > self.max_restarts:
+                self.state = JobState.FAILED
+                self.failure = f"restart budget exhausted: {exc}"
+                return False
+        return True
+
     def matches_of(self, index: int) -> list[ComplexEvent]:
         sink = self.sinks[index]
         return [
             item if isinstance(item, ComplexEvent) else ComplexEvent((item,))
             for item in sink.items
         ]
+
+    def match_keys(self, name: str) -> list[str]:
+        """Canonical (sorted dedup-key) matches of one tenant — the frozen
+        snapshot for a cancelled tenant, the live sink otherwise."""
+        frozen = self.frozen_matches.get(name)
+        if frozen is not None:
+            return list(frozen)
+        index = self.query_names.index(name)
+        return sorted(repr(m.dedup_key()) for m in self.matches_of(index))
 
 
 def _parse_query_spec(spec: Any, index: int) -> tuple[str, Any, TranslationOptions]:
@@ -278,6 +406,49 @@ def _parse_query_spec(spec: Any, index: int) -> tuple[str, Any, TranslationOptio
     return name, pattern, options
 
 
+def _select_backend(
+    requested: str, options_list: list[TranslationOptions], flow: Any
+) -> tuple[str, str | None]:
+    """Pick the round backend from the plan's partition-safety proof.
+
+    "sharded" needs every co-submitted plan to carry the *same* partition
+    attribute (O3) and the merged dataflow to pass the RA40x proof — the
+    same admission :class:`~repro.asp.runtime.backends.sharded
+    .ShardedBackend` enforces. "auto" degrades to "serial" when the proof
+    fails; an explicit "sharded" request surfaces the diagnostics as a
+    structured 400 instead.
+    """
+    from repro.analysis.partition import shardability_diagnostics
+
+    if requested == "serial":
+        return "serial", None
+    keys = sorted({
+        options.partition_attribute
+        for options in options_list
+        if options.partition_attribute
+    })
+    key = keys[0] if len(keys) == 1 and all(
+        options.partition_attribute for options in options_list
+    ) else None
+    diagnostics = shardability_diagnostics(flow) if key is not None else []
+    if key is not None and not diagnostics:
+        return "sharded", key
+    if requested == "sharded":
+        if key is None:
+            raise ServiceError(
+                "not-shardable",
+                "sharded backend needs every query to carry the same O3 "
+                "partition attribute (options.o3)",
+            )
+        raise ServiceError(
+            "not-shardable",
+            "the merged plan failed the RA40x partition-safety proof: "
+            + "; ".join(d.message for d in diagnostics),
+            details=[d.as_dict() for d in diagnostics],
+        )
+    return "serial", None
+
+
 class JobManager:
     """Owns every live job plus the shared ingestion bookkeeping.
 
@@ -288,28 +459,32 @@ class JobManager:
     """
 
     def __init__(self, config: ServiceConfig | None = None):
-        from repro.runtime.service.events import SourceTracker
-
         self.config = config or ServiceConfig()
         self.jobs: dict[str, Job] = {}
         self.tracker = SourceTracker()
         self.unrouted = 0
         self.draining = False
-        self._ids = itertools.count(1)
+        #: Set by :meth:`resume` when a restart picked up durable jobs.
+        self.resumed: dict[str, Any] | None = None
         self._jobs_lock = threading.Lock()
+        self._ingest_lock = threading.Lock()
         self._wake = threading.Condition()
         self._stop = threading.Event()
         self._worker: threading.Thread | None = None
+        durable = self.config.durable_dir
+        self.state: ServiceState | None = ServiceState(durable) if durable else None
         self._base_store = (
-            DirectoryCheckpointStore(self.config.checkpoint_dir)
-            if self.config.checkpoint_dir
-            else InMemoryCheckpointStore()
+            DirectoryCheckpointStore(durable) if durable else InMemoryCheckpointStore()
         )
+        # Job ids continue where the previous incarnation stopped.
+        start_at = self.state.max_job_number() + 1 if self.state else 1
+        self._ids = itertools.count(start_at)
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
         if self._worker is None:
+            self.resume()
             self._worker = threading.Thread(
                 target=self._worker_loop, name="repro-serve-worker", daemon=True
             )
@@ -322,6 +497,96 @@ class JobManager:
         if self._worker is not None:
             self._worker.join(timeout=10)
             self._worker = None
+        if self.state is not None:
+            self.state.close()
+        shutdown_pool()
+
+    # -- durable resume ----------------------------------------------------
+
+    def resume(self) -> None:
+        """Rebuild every non-terminal persisted job and replay the WAL.
+
+        Called once at startup, before the worker thread exists, so no
+        locking subtleties: restore the tracker snapshot (dedup horizon),
+        re-run ``_build_job`` on each persisted submit request under its
+        original job id (the compile is deterministic, so plans, flows
+        and backend selection come out identical), restore the progress
+        counters, then replay the ingestion WAL through each line's
+        recorded routing set. That rebuilds every job's arrival-ordered
+        log byte-identically — the per-job (and per-shard) checkpoints
+        on disk hold offsets into exactly this log, so the next round
+        restores the newest checkpoint and continues as if the process
+        had never died.
+
+        Terminal jobs (drained/cancelled/failed) are not resurrected:
+        their results were served by the previous incarnation and their
+        checkpoint chains stay on disk for forensics only.
+        """
+        if self.state is None:
+            return
+        snapshot = self.state.load_tracker()
+        if snapshot:
+            self.tracker.restore(snapshot)
+        resumed: dict[str, Job] = {}
+        for doc in self.state.load_jobs():
+            progress = doc.get("progress") or {}
+            if progress.get("state", JobState.RUNNING) != JobState.RUNNING:
+                continue
+            job = self._build_job(doc["request"], doc["job_id"])
+            with job.run_lock, job.cond:
+                job.events_processed = int(progress.get("events_processed", 0))
+                job.rounds = int(progress.get("rounds", 0))
+                job.items_out = int(progress.get("items_out", 0))
+                job.wall_seconds = float(progress.get("wall_seconds", 0.0))
+                job.peak_state_bytes = int(progress.get("peak_state_bytes", 0))
+                job.work_units = int(progress.get("work_units", 0))
+                job.restarts = list(progress.get("restarts", []))
+                job.tenant_states.update(progress.get("tenants", {}))
+                job.frozen_matches = {
+                    name: list(keys)
+                    for name, keys in progress.get("frozen_matches", {}).items()
+                }
+            resumed[job.job_id] = job
+        if not resumed:
+            return
+        with self._jobs_lock:
+            self.jobs.update(resumed)
+        replayed = 0
+        for wire, job_ids in self.state.replay_wal():
+            self.tracker.record(wire.get("source"), wire.get("seq"))
+            event = event_from_wire(wire)
+            for job_id in job_ids:
+                job = resumed.get(job_id)
+                if job is None:
+                    continue
+                with job.cond:
+                    job.log.append(event)
+                    job.log_size.set(len(job.log))
+            replayed += 1
+        self.resumed = {"jobs": sorted(resumed), "wal_events": replayed}
+
+    def _persist_progress(self, job: Job) -> None:
+        """Write the job's mutable progress record (durable mode only)."""
+        if self.state is None:
+            return
+        with job.cond:
+            progress = {
+                "state": job.state,
+                "failure": job.failure,
+                "events_processed": job.events_processed,
+                "rounds": job.rounds,
+                "items_out": job.items_out,
+                "wall_seconds": job.wall_seconds,
+                "peak_state_bytes": job.peak_state_bytes,
+                "work_units": job.work_units,
+                "restarts": list(job.restarts),
+                "tenants": dict(job.tenant_states),
+                "frozen_matches": {
+                    name: list(keys)
+                    for name, keys in job.frozen_matches.items()
+                },
+            }
+        self.state.write_progress(job.job_id, progress)
 
     # -- submit / cancel ---------------------------------------------------
 
@@ -333,12 +598,33 @@ class JobManager:
         scans), plus optional per-job overrides (``admission``,
         ``queue_limit``, ``round_events``, ``checkpoint_interval``,
         ``optimize``, ``fault_plan``, ``batch_size``, ``fusion``,
-        ``max_restarts``).
+        ``max_restarts``, ``backend``, ``shards``, ``round_slo_ms``).
         """
         if self.draining:
             raise ServiceError("draining", "server is draining", status=503)
         if not isinstance(request, Mapping):
             raise ServiceError("bad-request", "submit body must be a JSON object")
+        job = self._build_job(request, f"job-{next(self._ids)}")
+        with self._jobs_lock:
+            taken = {
+                other.name
+                for other in self.jobs.values()
+                if other.state in (JobState.RUNNING, JobState.DRAINED)
+            }
+            if job.name in taken:
+                raise ServiceError(
+                    "duplicate-job",
+                    f"a job named '{job.name}' already exists",
+                    status=409,
+                )
+            self.jobs[job.job_id] = job
+        if self.state is not None:
+            self.state.write_manifest(job.job_id, dict(request))
+            self._persist_progress(job)
+        return self.job_status(job.job_id)
+
+    def _build_job(self, request: Mapping[str, Any], job_id: str) -> Job:
+        """Parse, lint and compile one submission into an unregistered Job."""
         specs = request.get("queries")
         if specs is None:
             single = request.get("query")
@@ -357,19 +643,6 @@ class JobManager:
                 "duplicate-query", f"co-submitted query names must be unique: {names}"
             )
         job_name = request.get("name") or names[0]
-        with self._jobs_lock:
-            taken = {
-                job.name
-                for job in self.jobs.values()
-                if job.state in (JobState.RUNNING, JobState.DRAINED)
-            }
-            if job_name in taken:
-                raise ServiceError(
-                    "duplicate-job",
-                    f"a job named '{job_name}' already exists",
-                    status=409,
-                )
-
         optimize = request.get("optimize", self.config.optimize)
         if optimize not in OPTIMIZE_MODES:
             raise ServiceError(
@@ -405,7 +678,6 @@ class JobManager:
                     "translation", f"query '{name}' cannot be translated: {exc}"
                 ) from exc
 
-        job_id = f"job-{next(self._ids)}"
         log: list[Event] = []
         shared = GeneratorSource(lambda: list(log), name=f"ingest[{job_id}]")
         event_types = frozenset(
@@ -432,6 +704,25 @@ class JobManager:
                 ),
                 details=[d.as_dict() for d in multi.sharing.diagnostics],
             )
+        backend_request = request.get("backend", self.config.job_backend)
+        if backend_request not in JobBackend:
+            raise ServiceError(
+                "bad-request", f"backend must be one of {JobBackend}"
+            )
+        shards = int(request.get("shards", self.config.job_shards))
+        if shards < 1:
+            raise ServiceError("bad-request", "shards must be >= 1")
+        shard_mode = request.get("shard_mode", self.config.shard_mode)
+        if shard_mode not in SHARD_MODES:
+            raise ServiceError(
+                "bad-request", f"shard_mode must be one of {SHARD_MODES}"
+            )
+        backend, key_attribute = _select_backend(
+            backend_request, [options for _n, _p, options in parsed], multi.env.flow
+        )
+        round_slo_ms = request.get("round_slo_ms", self.config.round_slo_ms)
+        if round_slo_ms is not None and int(round_slo_ms) < 1:
+            raise ServiceError("bad-request", "round_slo_ms must be >= 1")
         checkpoint_interval = request.get(
             "checkpoint_interval", self.config.checkpoint_interval
         )
@@ -450,6 +741,11 @@ class JobManager:
                 "bad-request", f"admission must be one of {AdmissionPolicy}"
             )
         store = self._base_store.scoped(job_id)
+        shard_count = shards if backend == "sharded" else 0
+        shard_stores = [
+            store.scoped(f"shard-{index}") for index in range(shard_count)
+        ]
+        plan = fault_plan or FaultPlan()
         job = Job(
             job_id=job_id,
             name=job_name,
@@ -472,11 +768,25 @@ class JobManager:
             max_restarts=int(request.get("max_restarts", self.config.max_restarts)),
             shared_scans=multi.num_shared_scans,
             sharing=multi.sharing.as_dict() if multi.sharing is not None else None,
+            backend=backend,
+            shards=max(1, shard_count),
+            key_attribute=key_attribute,
+            shard_mode=shard_mode,
+            fault_active=fault_plan is not None,
+            shard_stores=shard_stores,
+            shard_coordinators=[
+                CheckpointCoordinator(shard_store, checkpoint_interval)
+                for shard_store in shard_stores
+            ],
+            shard_injectors=[
+                FaultInjector(plan.for_shard(index) or FaultPlan())
+                for index in range(shard_count)
+            ],
+            round_slo_ms=int(round_slo_ms) if round_slo_ms is not None else None,
+            tenant_states={name: "running" for name in names},
             log=log,
         )
-        with self._jobs_lock:
-            self.jobs[job_id] = job
-        return self.job_status(job_id)
+        return job
 
     def _get(self, job_id: str) -> Job:
         job = self.jobs.get(job_id)
@@ -496,6 +806,39 @@ class JobManager:
                 job.queue.clear()
                 job.queue_depth.set(0)
                 job.cond.notify_all()
+        self._persist_progress(job)
+        return self.job_status(job.job_id)
+
+    def cancel_tenant(self, job_id: str, tenant: str) -> dict[str, Any]:
+        """Cancel one tenant of a shared-scan group.
+
+        The merged dataflow keeps running for the remaining tenants — a
+        shared scan cannot be carved out of a live plan without touching
+        the survivors' operator state, and the isolation guarantee is
+        precisely that cancelling one tenant never perturbs the others'
+        output bytes. The cancelled tenant's matches are frozen at the
+        last round boundary and served from the snapshot; when the last
+        tenant cancels, the whole job does.
+        """
+        job = self._get(job_id)
+        if tenant not in job.query_names:
+            raise ServiceError(
+                "unknown-tenant",
+                f"job '{job.job_id}' has no query '{tenant}'",
+                status=404,
+            )
+        with job.run_lock:  # freeze between rounds, never mid-round
+            with job.cond:
+                already = job.tenant_states.get(tenant) == "cancelled"
+                if not already:
+                    job.tenant_states[tenant] = "cancelled"
+            if not already:
+                job.frozen_matches[tenant] = job.match_keys(tenant)
+        if all(
+            job.tenant_states.get(name) == "cancelled" for name in job.query_names
+        ):
+            return self.cancel(job.job_id)
+        self._persist_progress(job)
         return self.job_status(job.job_id)
 
     # -- ingestion ---------------------------------------------------------
@@ -508,10 +851,30 @@ class JobManager:
         *,
         wait: bool = True,
     ) -> dict[str, Any]:
-        """Route one event to every running job that scans its type."""
+        """Route one event to every running job that scans its type.
+
+        With a durable state root, admission, routing and the WAL append
+        run under one ingestion lock: the WAL's line order *is* every
+        job's log order (which replay after a restart depends on), and
+        the dedup horizon never advances past the last durable append —
+        a tracker snapshot taken between an admit and its WAL line could
+        otherwise drop a producer's re-send of an event the restart
+        lost.
+        """
+        if self.state is not None:
+            with self._ingest_lock:
+                if not self.tracker.admit(source, seq):
+                    return {"accepted": 0, "duplicate": True}
+                return self._route_event(event, source, seq, wait)
         if not self.tracker.admit(source, seq):
             return {"accepted": 0, "duplicate": True}
+        return self._route_event(event, source, seq, wait)
+
+    def _route_event(
+        self, event: Event, source: str | None, seq: int | None, wait: bool
+    ) -> dict[str, Any]:
         routed = 0
+        routed_ids: list[str] = []
         rejections: list[dict[str, Any]] = []
         ready = False
         targets = [
@@ -519,17 +882,22 @@ class JobManager:
             if event.event_type in job.event_types
         ]
         if not targets:
-            self.unrouted += 1
+            self.unrouted += 1  # lint: unguarded — a monotonic stat counter
             return {"accepted": 0, "unrouted": True}
         for job in targets:
             outcome = job.offer(event, wait=wait, draining=self.draining)
             if outcome["accepted"]:
                 routed += 1
+                routed_ids.append(job.job_id)
                 ready = ready or outcome.get("round_ready", False)
             else:
                 rejection = {"job": job.job_id, **outcome}
                 rejection.pop("accepted")
                 rejections.append(rejection)
+        if routed_ids and self.state is not None:
+            # One append covers the whole routing set: the event is
+            # durable for all of its jobs or for none of them.
+            self.state.append_wal(event_to_wire(event, source, seq), routed_ids)
         if ready:
             self.kick()
         out: dict[str, Any] = {"accepted": routed}
@@ -538,8 +906,17 @@ class JobManager:
         return out
 
     def heartbeat(self, source: str | None, ts: int) -> None:
-        """A producer watermark: record it and flush queued work."""
-        self.tracker.heartbeat(source, ts)
+        """A producer watermark: record it and flush queued work.
+
+        Durable mode snapshots the tracker under the ingestion lock so
+        the persisted dedup horizon is consistent with the WAL tail.
+        """
+        if self.state is not None:
+            with self._ingest_lock:
+                self.tracker.heartbeat(source, ts)
+                self.state.write_tracker(self.tracker.snapshot())
+        else:
+            self.tracker.heartbeat(source, ts)
         self.flush_all()
 
     def flush_all(self) -> None:
@@ -564,12 +941,19 @@ class JobManager:
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
             progressed = False
+            now = time.monotonic()
             for job in list(self.jobs.values()):
                 if job.state != JobState.RUNNING:
                     continue
-                if job.pending >= job.round_events or (
+                count_ready = job.pending >= job.round_events or (
                     job.flush_requested and job.pending > 0
-                ):
+                )
+                # The SLO only *adds* rounds: deadline-triggered exactly
+                # when neither the count nor a flush would fire one.
+                slo_ready = not count_ready and job.slo_due(now)
+                if count_ready or slo_ready:
+                    if slo_ready:
+                        job.slo_rounds.inc()
                     self.run_round(job)
                     progressed = True
                 elif job.flush_requested:
@@ -582,53 +966,31 @@ class JobManager:
     def run_round(self, job: Job, terminal: bool = False) -> RunResult | None:
         """Drain the queue and process the new log suffix as one round."""
         with job.run_lock:
+            queue_age = job.queue_age_ms(time.monotonic())
             job.drain_queue()
             with job.cond:
                 job.flush_requested = False
             new_events = len(job.log) - job.events_processed
             if new_events == 0 and not terminal:
                 return None
-            while True:
-                serial_job = SerialJob(
-                    job.flow,
-                    job.settings,
-                    injector=job.injector,
-                    coordinator=job.coordinator,
-                )
-                latest = job.store.latest()
-                if latest is None:
-                    # Checkpoint 0: pristine pre-stream state, so even a
-                    # crash in the first round can recover.
-                    job.coordinator.take(serial_job)
-                else:
-                    job.coordinator.restore_into(serial_job, latest)
-                    serial_job.start_offset = latest.offset
-                try:
-                    result = serial_job.run(terminal_watermark=terminal)
-                    break
-                except InjectedFaultError as exc:
-                    latest = job.store.latest()
-                    job.restarts.append(
-                        {
-                            "failed_at_event": exc.at_event,
-                            "resumed_from_offset": latest.offset if latest else 0,
-                            "round": job.rounds,
-                        }
-                    )
-                    if len(job.restarts) > job.max_restarts:
-                        with job.cond:
-                            job.state = JobState.FAILED
-                            job.failure = f"restart budget exhausted: {exc}"
-                        return None
-                    continue
-            # Round-boundary cut: the next round resumes exactly here.
-            job.coordinator.take(serial_job)
-            job.events_processed = serial_job.events_in
+            if queue_age is not None:
+                job.trigger_latency_ms.observe(queue_age)
+            started = time.perf_counter()
+            if job.backend == "sharded":
+                result = run_sharded_round(job, terminal)
+            else:
+                result = self._serial_round(job, terminal)
+            if result is None:
+                # The restart budget died mid-round; the job is FAILED.
+                self._persist_progress(job)
+                return None
+            job.events_processed = result.events_in
             job.rounds += 1
             job.items_out = result.items_out
             job.wall_seconds += result.wall_seconds
             job.peak_state_bytes = max(job.peak_state_bytes, result.peak_state_bytes)
             job.work_units += result.work_units
+            job.round_duration_ms.observe((time.perf_counter() - started) * 1000.0)
             round_tree = result.metrics.get("operators") or {}
             job.operator_tree = (
                 merge_metric_trees([job.operator_tree, round_tree])
@@ -639,7 +1001,41 @@ class JobManager:
                 with job.cond:
                     job.state = JobState.FAILED
                     job.failure = result.failure
+            self._persist_progress(job)
             return result
+
+    def _serial_round(self, job: Job, terminal: bool) -> RunResult | None:
+        """One serial-backend round with the checkpoint/restart protocol.
+
+        Caller holds ``run_lock``. Returns ``None`` when the restart
+        budget is exhausted (the job is already marked failed).
+        """
+        while True:
+            serial_job = SerialJob(
+                job.flow,
+                job.settings,
+                injector=job.injector,
+                coordinator=job.coordinator,
+            )
+            latest = job.store.latest()
+            if latest is None:
+                # Checkpoint 0: pristine pre-stream state, so even a
+                # crash in the first round can recover.
+                job.coordinator.take(serial_job)
+            else:
+                job.coordinator.restore_into(serial_job, latest)
+                serial_job.start_offset = latest.offset
+            try:
+                result = serial_job.run(terminal_watermark=terminal)
+                break
+            except InjectedFaultError as exc:
+                latest = job.store.latest()
+                if not job.record_restart(exc, latest.offset if latest else 0):
+                    return None
+                continue
+        # Round-boundary cut: the next round resumes exactly here.
+        job.coordinator.take(serial_job)
+        return result
 
     # -- drain / shutdown --------------------------------------------------
 
@@ -661,7 +1057,11 @@ class JobManager:
                 with job.cond:
                     job.state = JobState.DRAINED
                     job.cond.notify_all()
+            self._persist_progress(job)
             drained.append(job.job_id)
+        if self.state is not None:
+            with self._ingest_lock:
+                self.state.write_tracker(self.tracker.snapshot())
         return {"drained": drained}
 
     # -- read endpoints ----------------------------------------------------
@@ -687,9 +1087,13 @@ class JobManager:
             "events_processed": job.events_processed,
             "rounds": job.rounds,
             "restarts": len(job.restarts),
+            "backend": job.backend,
+            "shards": job.shards if job.backend == "sharded" else None,
+            "round_slo_ms": job.round_slo_ms,
+            "tenants": dict(job.tenant_states),
             "matches": {
-                name: len(job.matches_of(i))
-                for i, name in enumerate(job.query_names)
+                name: len(job.match_keys(name))
+                for name in job.query_names
             },
         }
 
@@ -732,24 +1136,57 @@ class JobManager:
                 "ingress": job.registry.to_dict(),
                 "rounds": job.rounds,
                 "restarts": list(job.restarts),
-                "checkpoints": job.coordinator.metrics(),
+                "backend": job.backend,
+                "shards": job.shards if job.backend == "sharded" else None,
+                "round_slo_ms": job.round_slo_ms,
+                "tenants": dict(job.tenant_states),
+                "checkpoints": (
+                    {
+                        "count": sum(c.count for c in job.shard_coordinators),
+                        "bytes_total": sum(
+                            c.bytes_total for c in job.shard_coordinators
+                        ),
+                        "interval": job.coordinator.interval,
+                    }
+                    if job.backend == "sharded"
+                    else job.coordinator.metrics()
+                ),
             }
         return report
 
     def job_checkpoints(self, job_id: str) -> dict[str, Any]:
         job = self._get(job_id)
         with job.run_lock:
-            entries = [
-                {
-                    "checkpoint_id": c.checkpoint_id,
-                    "offset": c.offset,
-                    "size_bytes": c.size_bytes,
+            # Sharded jobs keep checkpoint-per-shard in scoped substores;
+            # the job-level view aggregates them (entries tagged by shard).
+            if job.backend == "sharded":
+                stores = list(job.shard_stores)
+                coordinator = {
+                    "count": sum(c.count for c in job.shard_coordinators),
+                    "bytes_total": sum(
+                        c.bytes_total for c in job.shard_coordinators
+                    ),
+                    "interval": job.coordinator.interval,
+                    "shards": [c.metrics() for c in job.shard_coordinators],
                 }
-                for c in job.store.checkpoints()
-            ]
+            else:
+                stores = [job.store]
+                coordinator = job.coordinator.metrics()
+            entries = []
+            for shard, store in enumerate(stores):
+                for c in store.checkpoints():
+                    entry = {
+                        "checkpoint_id": c.checkpoint_id,
+                        "offset": c.offset,
+                        "size_bytes": c.size_bytes,
+                    }
+                    if job.backend == "sharded":
+                        entry["shard"] = shard
+                    entries.append(entry)
             return {
                 "job": job.job_id,
-                "coordinator": job.coordinator.metrics(),
+                "backend": job.backend,
+                "coordinator": coordinator,
                 "entries": entries,
                 "durable": isinstance(job.store, DirectoryCheckpointStore),
             }
@@ -764,11 +1201,12 @@ class JobManager:
         job = self._get(job_id)
         with job.run_lock:
             queries = {}
-            for index, name in enumerate(job.query_names):
-                matches = job.matches_of(index)
+            for name in job.query_names:
+                keys = job.match_keys(name)
                 queries[name] = {
-                    "count": len(matches),
-                    "keys": sorted(repr(m.dedup_key()) for m in matches),
+                    "count": len(keys),
+                    "keys": keys,
+                    "tenant_state": job.tenant_states.get(name, "running"),
                 }
             return {"job": job.job_id, "state": job.state, "queries": queries}
 
@@ -782,4 +1220,6 @@ class JobManager:
             "draining": self.draining,
             "unrouted_events": self.unrouted,
             "ingest": self.tracker.as_dict(),
+            "durable": self.state is not None,
+            "resumed": self.resumed,
         }

@@ -14,6 +14,7 @@ Control API (JSON in/out)::
     POST   /jobs                  submit (catalog names / inline patterns)
     GET    /jobs/{id}             one job's status (id or unique name)
     DELETE /jobs/{id}             cancel
+    DELETE /jobs/{id}/tenants/{q} cancel one tenant of a shared-scan group
     POST   /jobs/{id}/flush       force a processing round
     GET    /jobs/{id}/metrics     repro.metrics/v1 report + service section
     GET    /jobs/{id}/checkpoints checkpoint chain + coordinator counters
@@ -233,6 +234,14 @@ class ReproService:
             if tail == "matches" and method == "GET":
                 return 200, await loop.run_in_executor(
                     None, manager.job_matches, job_id
+                )
+            if (
+                tail == "tenants"
+                and len(segments) == 4
+                and method == "DELETE"
+            ):
+                return 200, await loop.run_in_executor(
+                    None, manager.cancel_tenant, job_id, segments[3]
                 )
         return 404, {
             "error": {"code": "not-found", "message": f"no route {method} {path}"}

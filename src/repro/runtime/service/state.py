@@ -1,0 +1,168 @@
+"""Durable service state: job manifests, progress records, ingestion WAL.
+
+The checkpoint store (PR 4) already persists *operator* state per job —
+what a restarted server cannot rebuild from it is everything around the
+operators: which jobs existed (their original submit requests), how far
+each had processed, and the arrival-ordered ingestion log whose replay
+offsets the checkpoints point into. This module owns that layout, under
+the service's ``--state-dir``::
+
+    <state_dir>/
+        ingest.wal             service-wide ingestion WAL (NDJSON)
+        tracker.json           SourceTracker snapshot (written at drain)
+        <job_id>/
+            job.json           the original submit request (immutable)
+            state.json         progress: lifecycle state, counters, tenants
+            manifest.json ...  the job's checkpoint chain (PR 4 store)
+
+**The WAL is service-wide, not per-job.** One admitted event can route
+to several jobs; logging it per job would open a window where a kill −9
+lands between two appends and the rebuilt dedup horizon silently drops
+the producer's re-send for the job that lost it. Each WAL line therefore
+records the wire document *and the exact routing set* in one append::
+
+    {"event": {...wire doc...}, "jobs": ["job-1", "job-3"]}
+
+An event is durable for all of its jobs or none of them; a re-send after
+restart is deduplicated exactly when every routed job already has it.
+Replaying the WAL through the normal routing order rebuilds every job's
+arrival-ordered log byte-identically, so per-job (and per-shard)
+checkpoint offsets stay valid across the restart.
+
+Writes are flushed per line but not fsynced: the resume guarantee
+targets process death (SIGKILL), where the page cache survives.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+_MANIFEST = "job.json"
+_PROGRESS = "state.json"
+_WAL = "ingest.wal"
+_TRACKER = "tracker.json"
+
+
+class ServiceState:
+    """Filesystem layout of one service instance's durable state."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._wal_handle: IO[str] | None = None
+        self._wal_lock = threading.Lock()
+
+    # -- job manifests -----------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.root / job_id
+
+    def write_manifest(self, job_id: str, request: dict[str, Any]) -> None:
+        """Persist the original submit request (written once, at submit)."""
+        path = self.job_dir(job_id)
+        path.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(path / _MANIFEST, {"job_id": job_id, "request": request})
+
+    def write_progress(self, job_id: str, progress: dict[str, Any]) -> None:
+        """Persist the job's mutable progress record (per round/transition)."""
+        path = self.job_dir(job_id)
+        path.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(path / _PROGRESS, progress)
+
+    def load_jobs(self) -> list[dict[str, Any]]:
+        """Every persisted job: ``{"job_id", "request", "progress"}``.
+
+        Sorted by the numeric job-id suffix so resume re-registers jobs
+        in their original submission order (WAL routing sets reference
+        the ids, not the order, but deterministic iteration keeps the
+        rebuilt manager byte-comparable).
+        """
+        out: list[dict[str, Any]] = []
+        for child in self.root.iterdir():
+            manifest = child / _MANIFEST
+            if not child.is_dir() or not manifest.exists():
+                continue
+            doc = json.loads(manifest.read_text())
+            progress_path = child / _PROGRESS
+            doc["progress"] = (
+                json.loads(progress_path.read_text()) if progress_path.exists() else {}
+            )
+            out.append(doc)
+        return sorted(out, key=lambda doc: _job_order(doc["job_id"]))
+
+    def max_job_number(self) -> int:
+        """The largest ``job-<n>`` suffix on disk (0 when none)."""
+        numbers = [_job_order(doc["job_id"]) for doc in self.load_jobs()]
+        return max(numbers, default=0)
+
+    # -- the ingestion WAL -------------------------------------------------
+
+    @property
+    def wal_path(self) -> Path:
+        return self.root / _WAL
+
+    def append_wal(self, doc: dict[str, Any], job_ids: list[str]) -> None:
+        """One durable append covering the event's whole routing set."""
+        line = json.dumps({"event": doc, "jobs": job_ids}, sort_keys=True)
+        with self._wal_lock:
+            if self._wal_handle is None:
+                self._wal_handle = self.wal_path.open("a", encoding="utf-8")
+            self._wal_handle.write(line + "\n")
+            self._wal_handle.flush()
+
+    def replay_wal(self) -> Iterator[tuple[dict[str, Any], list[str]]]:
+        """Yield ``(wire doc, routed job ids)`` in arrival order.
+
+        A truncated trailing line (the append a kill −9 interrupted) ends
+        the replay — by construction nothing after it was acknowledged as
+        durable.
+        """
+        if not self.wal_path.exists():
+            return
+        with self.wal_path.open("r", encoding="utf-8") as handle:
+            for raw in handle:
+                text = raw.strip()
+                if not text:
+                    continue
+                try:
+                    doc = json.loads(text)
+                except json.JSONDecodeError:
+                    break
+                if not isinstance(doc, dict) or "event" not in doc:
+                    break
+                yield doc["event"], [str(j) for j in doc.get("jobs", [])]
+
+    # -- tracker snapshot --------------------------------------------------
+
+    def write_tracker(self, snapshot: dict[str, Any]) -> None:
+        self._write_atomic(self.root / _TRACKER, snapshot)
+
+    def load_tracker(self) -> dict[str, Any] | None:
+        path = self.root / _TRACKER
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # -- plumbing ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._wal_lock:
+            if self._wal_handle is not None:
+                self._wal_handle.close()
+                self._wal_handle = None
+
+    @staticmethod
+    def _write_atomic(path: Path, doc: dict[str, Any]) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        tmp.replace(path)
+
+
+def _job_order(job_id: str) -> int:
+    try:
+        return int(str(job_id).rsplit("-", 1)[-1])
+    except ValueError:
+        return 0

@@ -1,0 +1,456 @@
+"""The scaled serve data plane: sharded rounds, tenant groups, resume.
+
+In-process coverage of the PR 9 features: backend auto-selection from
+the partition-safety proof, byte-identity of sharded incremental rounds
+against one-shot batch runs (inline and process dispatch), per-tenant
+cancel isolation inside shared-scan groups, SLO-triggered rounds, the
+durable restart/resume protocol (manifests + progress + ingestion WAL),
+the client's transient-error backoff, and the ``SourceTracker``
+snapshot/restore property. Live-socket restart coverage is
+``tools/serve_smoke.py --kill-after`` (the ``serve-restart`` CI job).
+"""
+
+import json
+import os
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asp.operators.source import ListSource
+from repro.asp.runtime import ExecutionSettings, SerialBackend
+from repro.asp.runtime.fault.chaos import canonical_match_bytes
+from repro.errors import ServiceError
+from repro.experiments.common import Scale, qnv_aq_workload
+from repro.mapping.advisor import recommend_options
+from repro.mapping.translator import translate
+from repro.patterns import CATALOG
+from repro.runtime.service import (
+    JobManager,
+    ServiceConfig,
+    ServiceState,
+    SourceTracker,
+    backoff_schedule,
+    merge_streams_for_wire,
+)
+from repro.sea.parser import parse_pattern
+
+SHARDABLE = ("PATTERN SEQ(Q a, V b) WHERE a.id = b.id WITHIN 10 MINUTES")
+
+
+def offset_streams(events=900, sensors=6, seed=11):
+    streams = {
+        t: list(evs)
+        for t, evs in qnv_aq_workload(
+            Scale(events=events, sensors=sensors, seed=seed)
+        ).items()
+    }
+    for offset, evs in enumerate(streams.values()):
+        for event in evs:
+            event.ts += offset
+    return streams
+
+
+def batch_reference(query_name, streams):
+    pattern = CATALOG[query_name]()
+    options = recommend_options(pattern).options
+    sources = {
+        t: ListSource(streams[t], name=f"batch[{t}]", event_type=t)
+        for t in pattern.distinct_event_types()
+    }
+    query = translate(pattern, sources, options)
+    query.attach_sink()
+    SerialBackend().execute(
+        query.env.flow,
+        ExecutionSettings(watermark_interval=query.plan.window_slide),
+    )
+    return canonical_match_bytes(query.matches())
+
+
+def batch_reference_inline(pattern_text, streams, *, o3):
+    from repro.mapping.optimizations import TranslationOptions
+
+    pattern = parse_pattern(pattern_text, name="inline-ref")
+    sources = {
+        t: ListSource(streams[t], name=f"batch[{t}]", event_type=t)
+        for t in pattern.distinct_event_types()
+    }
+    query = translate(
+        pattern, sources, TranslationOptions(partition_attribute=o3)
+    )
+    query.attach_sink()
+    SerialBackend().execute(
+        query.env.flow,
+        ExecutionSettings(watermark_interval=query.plan.window_slide),
+    )
+    return canonical_match_bytes(query.matches())
+
+
+def ingest_all(manager, streams, source="t", start_seq=1):
+    seq = start_seq
+    for event in merge_streams_for_wire(streams):
+        manager.ingest_event(event, source=source, seq=seq)
+        seq += 1
+    return seq
+
+
+def served_bytes(manager, job_id, query_name):
+    keys = manager.job_matches(job_id)["queries"][query_name]["keys"]
+    return "\n".join(keys).encode("utf-8")
+
+
+def sharded_submit(name="sharded", **overrides):
+    body = {
+        "name": name,
+        "query": {"pattern": SHARDABLE, "name": name, "options": {"o3": "id"}},
+        "shard_mode": "inline",
+    }
+    body.update(overrides)
+    return body
+
+
+class TestBackendSelection:
+    def test_o3_submission_auto_selects_sharded(self):
+        manager = JobManager(ServiceConfig(job_shards=3))
+        info = manager.submit(sharded_submit())
+        assert info["backend"] == "sharded"
+        assert info["shards"] == 3
+
+    def test_default_submission_stays_serial(self):
+        manager = JobManager()
+        info = manager.submit({"query": "traffic-congestion"})
+        assert info["backend"] == "serial"
+        assert info["shards"] is None
+
+    def test_explicit_sharded_without_o3_is_rejected(self):
+        with pytest.raises(ServiceError) as err:
+            JobManager().submit(
+                {"query": "traffic-congestion", "backend": "sharded"}
+            )
+        assert err.value.code == "not-shardable"
+        assert err.value.status == 400
+
+    def test_explicit_serial_overrides_the_proof(self):
+        manager = JobManager()
+        info = manager.submit(sharded_submit(backend="serial"))
+        assert info["backend"] == "serial"
+
+    def test_mismatched_partition_keys_never_shard(self):
+        # Different key attributes across the co-submission: "auto" must
+        # degrade to serial (no common hash split exists).
+        manager = JobManager()
+        info = manager.submit(
+            {"queries": [
+                {"pattern": SHARDABLE, "name": "by-id",
+                 "options": {"o3": "id"}},
+                {"pattern": "PATTERN SEQ(V a, V b) WHERE a.id = b.id "
+                            "WITHIN 10 MINUTES",
+                 "name": "plain"},
+            ]}
+        )
+        assert info["backend"] == "serial"
+
+
+class TestShardedRounds:
+    def test_sharded_rounds_match_batch_bytes(self):
+        streams = offset_streams()
+        manager = JobManager(
+            ServiceConfig(round_events=200, checkpoint_interval=100)
+        )
+        info = manager.submit(sharded_submit(name="shard-eq", shards=3))
+        assert info["backend"] == "sharded"
+        ingest_all(manager, streams)
+        manager.run_round(manager.jobs[info["id"]])  # mid-stream round
+        manager.drain()
+        status = manager.job_status(info["id"])
+        assert status["state"] == "drained"
+        assert status["rounds"] >= 2
+        assert served_bytes(manager, info["id"], "shard-eq") == \
+            batch_reference_inline(SHARDABLE, streams, o3="id")
+
+    def test_sharded_checkpoints_per_shard(self, tmp_path):
+        streams = offset_streams(events=500, seed=3)
+        manager = JobManager(
+            ServiceConfig(round_events=150, checkpoint_interval=None,
+                          state_dir=str(tmp_path))
+        )
+        info = manager.submit(sharded_submit(name="shard-chk", shards=2))
+        ingest_all(manager, streams)
+        manager.drain()
+        doc = manager.job_checkpoints(info["id"])
+        assert doc["durable"] and doc["backend"] == "sharded"
+        shards_seen = {entry["shard"] for entry in doc["entries"]}
+        assert shards_seen == {0, 1}
+        assert doc["coordinator"]["count"] == len(doc["entries"])
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2, reason="process mode needs >1 cpu"
+    )
+    def test_process_mode_matches_batch_bytes(self):
+        pytest.importorskip("cloudpickle")
+        streams = offset_streams(events=500, seed=7)
+        manager = JobManager(ServiceConfig(round_events=200))
+        info = manager.submit(
+            sharded_submit(name="shard-proc", shards=2, shard_mode="process")
+        )
+        ingest_all(manager, streams)
+        manager.drain()
+        assert served_bytes(manager, info["id"], "shard-proc") == \
+            batch_reference_inline(SHARDABLE, streams, o3="id")
+
+
+class TestTenantGroups:
+    GROUP = ("traffic-congestion", "street-lighting-demand")
+
+    def submit_group(self, manager):
+        return manager.submit({"name": "group", "queries": list(self.GROUP)})
+
+    def test_cancelling_one_tenant_preserves_the_others_bytes(self):
+        streams = offset_streams()
+        manager = JobManager(ServiceConfig(round_events=250))
+        info = self.submit_group(manager)
+        half = {t: evs[: len(evs) // 2] for t, evs in streams.items()}
+        rest = {t: evs[len(evs) // 2:] for t, evs in streams.items()}
+        next_seq = ingest_all(manager, half)
+        manager.run_round(manager.jobs[info["id"]])
+
+        status = manager.cancel_tenant(info["id"], "street-lighting-demand")
+        assert status["state"] == "running"
+        assert status["tenants"]["street-lighting-demand"] == "cancelled"
+        frozen = served_bytes(manager, info["id"], "street-lighting-demand")
+
+        ingest_all(manager, rest, start_seq=next_seq)
+        manager.drain()
+        doc = manager.job_matches(info["id"])
+        # The survivor's output is byte-identical to its solo batch run.
+        assert served_bytes(manager, info["id"], "traffic-congestion") == \
+            batch_reference("traffic-congestion", streams)
+        assert doc["queries"]["traffic-congestion"]["tenant_state"] == "running"
+        # The cancelled tenant stays frozen at its cancel-time snapshot.
+        assert served_bytes(manager, info["id"], "street-lighting-demand") == \
+            frozen
+        assert doc["queries"]["street-lighting-demand"]["tenant_state"] == \
+            "cancelled"
+
+    def test_cancelling_every_tenant_cancels_the_job(self):
+        manager = JobManager()
+        info = self.submit_group(manager)
+        manager.cancel_tenant(info["id"], "traffic-congestion")
+        status = manager.cancel_tenant(info["id"], "street-lighting-demand")
+        assert status["state"] == "cancelled"
+
+    def test_unknown_tenant_is_404(self):
+        manager = JobManager()
+        info = self.submit_group(manager)
+        with pytest.raises(ServiceError) as err:
+            manager.cancel_tenant(info["id"], "nope")
+        assert err.value.status == 404
+
+
+class TestRoundSlo:
+    def test_slo_triggers_a_round_before_the_count_threshold(self):
+        streams = offset_streams(events=120, seed=2)
+        manager = JobManager(
+            ServiceConfig(round_events=100_000, round_slo_ms=30)
+        )
+        manager.start()
+        try:
+            info = manager.submit({"query": "traffic-congestion"})
+            job = manager.jobs[info["id"]]
+            ingest_all(manager, streams)
+            deadline = time.monotonic() + 5.0
+            while job.rounds == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert job.rounds >= 1, "the SLO never fired a round"
+            assert job.slo_rounds.value >= 1
+            tree = manager.job_metrics(info["id"])["service"]["ingress"]
+            latency = tree["rounds"]["trigger_latency_ms"]
+            assert latency["count"] >= 1
+        finally:
+            manager.stop()
+
+
+class TestDurableResume:
+    CONFIG = dict(round_events=150, checkpoint_interval=100)
+
+    def test_restart_resumes_and_replay_is_byte_identical(self, tmp_path):
+        streams = offset_streams()
+        all_events = list(merge_streams_for_wire(streams))
+        cut = len(all_events) * 2 // 3
+        config = ServiceConfig(state_dir=str(tmp_path), **self.CONFIG)
+
+        first = JobManager(config)
+        info = first.submit({"query": "traffic-congestion"})
+        for seq, event in enumerate(all_events[:cut], start=1):
+            first.ingest_event(event, source="t", seq=seq)
+        first.run_round(first.jobs[info["id"]])
+        before = first.job_status(info["id"])
+        processed_before = before["events_processed"]
+        assert processed_before > 0
+        # Kill −9: no drain, no close — the manager is simply abandoned.
+
+        second = JobManager(config)
+        second.resume()
+        status = second.job_status(info["id"])
+        assert status["state"] == "running"
+        # The WAL replay rebuilt the routed log exactly (the job only
+        # logs the event types its scans read, not the whole stream).
+        assert status["events_logged"] == before["events_logged"]
+        assert status["events_processed"] == processed_before
+        # The producer re-sends everything: the durable prefix must
+        # dedup, the lost tail must be admitted fresh.
+        for seq, event in enumerate(all_events, start=1):
+            second.ingest_event(event, source="t", seq=seq)
+        assert second.tracker.duplicates >= cut // 2
+        second.drain()
+        assert served_bytes(second, info["id"], "traffic-congestion") == \
+            batch_reference("traffic-congestion", streams)
+
+    def test_sharded_job_resumes_across_restart(self, tmp_path):
+        streams = offset_streams(events=600, seed=9)
+        all_events = list(merge_streams_for_wire(streams))
+        cut = len(all_events) // 2
+        config = ServiceConfig(state_dir=str(tmp_path), **self.CONFIG)
+
+        first = JobManager(config)
+        info = first.submit(sharded_submit(name="shard-resume", shards=2))
+        for seq, event in enumerate(all_events[:cut], start=1):
+            first.ingest_event(event, source="t", seq=seq)
+        first.run_round(first.jobs[info["id"]])
+
+        second = JobManager(config)
+        second.resume()
+        assert second.job_status(info["id"])["backend"] == "sharded"
+        for seq, event in enumerate(all_events, start=1):
+            second.ingest_event(event, source="t", seq=seq)
+        second.drain()
+        assert served_bytes(second, info["id"], "shard-resume") == \
+            batch_reference_inline(SHARDABLE, streams, o3="id")
+
+    def test_terminal_jobs_are_not_resurrected(self, tmp_path):
+        config = ServiceConfig(state_dir=str(tmp_path), **self.CONFIG)
+        first = JobManager(config)
+        kept = first.submit({"query": "traffic-congestion", "name": "kept"})
+        gone = first.submit(
+            {"query": {"pattern": SHARDABLE, "name": "inner"}, "name": "gone"}
+        )
+        first.cancel(gone["id"])
+
+        second = JobManager(config)
+        second.resume()
+        assert kept["id"] in second.jobs
+        assert gone["id"] not in second.jobs
+        # Fresh ids continue past everything ever persisted.
+        third = second.submit({"query": "street-lighting-demand"})
+        assert third["id"] not in (kept["id"], gone["id"])
+
+    def test_wal_tolerates_a_truncated_tail(self, tmp_path):
+        state = ServiceState(tmp_path)
+        state.append_wal({"type": "Q", "ts": 1}, ["job-1"])
+        state.append_wal({"type": "Q", "ts": 2}, ["job-1"])
+        state.close()
+        with state.wal_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": {"type": "Q", "ts": 3}, "jo')  # torn write
+        replayed = list(state.replay_wal())
+        assert [doc["ts"] for doc, _jobs in replayed] == [1, 2]
+        assert replayed[0][1] == ["job-1"]
+
+    def test_manifest_round_trips_the_submit_request(self, tmp_path):
+        state = ServiceState(tmp_path)
+        request = {"query": "traffic-congestion", "round_events": 10}
+        state.write_manifest("job-7", request)
+        state.write_progress("job-7", {"state": "running", "rounds": 2})
+        (doc,) = state.load_jobs()
+        assert doc["job_id"] == "job-7"
+        assert doc["request"] == request
+        assert doc["progress"]["rounds"] == 2
+        assert state.max_job_number() == 7
+
+
+class TestClientBackoff:
+    def test_schedule_is_capped_exponential(self):
+        assert backoff_schedule(0) == []
+        assert backoff_schedule(3) == [50.0, 100.0, 200.0]
+        assert backoff_schedule(8, base_ms=50, cap_ms=1000) == [
+            50.0, 100.0, 200.0, 400.0, 800.0, 1000.0, 1000.0, 1000.0,
+        ]
+        with pytest.raises(ValueError):
+            backoff_schedule(-1)
+
+    def test_transient_errors_retry_then_surface_as_503(self):
+        from repro.runtime.service import ServiceClient
+
+        # A port nothing listens on: every attempt is ECONNREFUSED.
+        client = ServiceClient(
+            "127.0.0.1", 1, timeout=0.5, retries=2, backoff_base_ms=1.0
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceError) as err:
+            client.healthz()
+        assert err.value.code == "unreachable"
+        assert err.value.status == 503
+        assert "3 attempt(s)" in str(err.value)
+        assert time.monotonic() - started < 5.0
+
+    def test_http_errors_are_not_retried(self):
+        from repro.runtime.service import ServiceClient
+
+        client = ServiceClient("127.0.0.1", 1, retries=0)
+        with pytest.raises(ServiceError) as err:
+            client.healthz()
+        assert "1 attempt(s)" in str(err.value)
+
+
+class TestTrackerRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=1, max_value=30),
+            ),
+            max_size=40,
+        ),
+        cut=st.integers(min_value=0, max_value=40),
+    )
+    def test_snapshot_restore_preserves_the_dedup_horizon(self, ops, cut):
+        """Any interleaving of sends, snapshotted at any point (a server
+        restart, JSON round trip included), admits exactly what an
+        uninterrupted tracker would — and re-sends of the pre-snapshot
+        prefix are all dropped as duplicates."""
+        point = min(cut, len(ops))
+        live = SourceTracker()
+        decisions_live = []
+        snapshot = None
+        for index, (source, seq) in enumerate(ops):
+            if index == point:
+                snapshot = json.loads(json.dumps(live.snapshot()))
+            decisions_live.append(live.admit(source, seq))
+        if snapshot is None:  # cut lands at/after the end of the stream
+            point = len(ops)
+            snapshot = json.loads(json.dumps(live.snapshot()))
+
+        restarted = SourceTracker()
+        restarted.restore(snapshot)
+        decisions_restarted = [
+            restarted.admit(source, seq) for source, seq in ops[point:]
+        ]
+        assert decisions_restarted == decisions_live[point:]
+        assert restarted.last_seq == live.last_seq
+
+        # The producer re-sending everything it sent before the crash:
+        # every line is at or below the restored horizon, all dropped.
+        resent = SourceTracker()
+        resent.restore(snapshot)
+        assert not any(resent.admit(source, seq) for source, seq in ops[:point])
+
+    def test_duplicates_resent_across_restart_stay_dropped(self):
+        live = SourceTracker()
+        for seq in (1, 2, 3):
+            assert live.admit("s", seq)
+        restarted = SourceTracker()
+        restarted.restore(live.snapshot())
+        assert not restarted.admit("s", 3), "pre-restart seq must dedup"
+        assert restarted.admit("s", 4), "fresh traffic must pass"
+        assert restarted.duplicates == live.duplicates + 1

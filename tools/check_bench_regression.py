@@ -182,6 +182,62 @@ def check_optimizer_cells(summary: dict) -> list[str]:
     return breaches
 
 
+#: The shared tenant-group cell must deliver at least this multiple of
+#: the unshared per-tenant capacity (the PR 9 acceptance floor; measured
+#: ~2x for 8 co-submitted congestion variants sharing the Q/V scans).
+SERVE_SHARED_FLOOR = 1.5
+#: The scan-sharing ratio is scale-stable, so the floor applies at the
+#: CI smoke scale already; below it only parity is required.
+SERVE_FULL_SCALE_EVENTS = 4_000
+
+
+def check_serve_cells(summary: dict) -> list[str]:
+    """Intra-summary rule: every ``X+shared`` cell vs its sibling ``X``.
+
+    Same machine-independence argument as :func:`check_batched_cells`:
+    both cells of a tenant-group pair come from the same run, so the
+    ratio is a pure scan-sharing measurement. Equal match totals are a
+    hard requirement — a merged dataflow that changes any tenant's
+    output is a correctness bug, not a capacity regression.
+    """
+    breaches: list[str] = []
+    for experiment, payload in sorted(summary.get("experiments", {}).items()):
+        cells = payload.get("cells", {})
+        full_scale = payload.get("events", 0) >= SERVE_FULL_SCALE_EVENTS
+        for key, cell in sorted(cells.items()):
+            pattern, approach, parameter = key.split("|")
+            if not approach.endswith("+shared"):
+                continue
+            sibling_key = f"{pattern}|{approach.removesuffix('+shared')}|{parameter}"
+            sibling = cells.get(sibling_key)
+            if sibling is None:
+                breaches.append(
+                    f"{experiment}/{key}: no unshared sibling cell {sibling_key}"
+                )
+                continue
+            if cell.get("matches") != sibling.get("matches"):
+                breaches.append(
+                    f"{experiment}/{key}: matches {cell.get('matches')} != "
+                    f"unshared sibling {sibling.get('matches')} -- the merged "
+                    "tenant-group dataflow changed the output (correctness "
+                    "regression)"
+                )
+                continue
+            unshared_tps = sibling.get("throughput_tps") or 0.0
+            shared_tps = cell.get("throughput_tps") or 0.0
+            if unshared_tps <= 0 or shared_tps <= 0:
+                continue
+            floor = SERVE_SHARED_FLOOR if full_scale else BATCHED_PARITY_FLOOR
+            ratio = shared_tps / unshared_tps
+            if ratio < floor:
+                breaches.append(
+                    f"{experiment}/{key}: shared tenant group {ratio:.2f}x the "
+                    f"unshared capacity (floor {floor:.2f}x) -- scan sharing "
+                    "lost its advantage"
+                )
+    return breaches
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("summary", type=Path, help="summary.json produced by the benchmark run")
@@ -220,7 +276,11 @@ def main(argv: list[str] | None = None) -> int:
     baseline_cells = {(exp, key): cell for exp, key, cell in iter_cells(baseline)}
 
     skipped = 0
-    breaches = check_batched_cells(summary) + check_optimizer_cells(summary)
+    breaches = (
+        check_batched_cells(summary)
+        + check_optimizer_cells(summary)
+        + check_serve_cells(summary)
+    )
     ratios: dict[tuple[str, str], float] = {}
     for experiment, key, cell in iter_cells(summary):
         reference = baseline_cells.get((experiment, key))

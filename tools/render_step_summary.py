@@ -16,7 +16,10 @@ Formats:
 ``bench``  a ``benchmarks/results/summary.json`` written by
            ``benchmarks.common.record_rows``: per-cell throughput.
 ``serve``  a ``tools/serve_smoke.py --report`` file: per-query
-           server-vs-batch match counts and byte-identity.
+           server-vs-batch match counts and byte-identity (plus the
+           kill−9/resume/replay line in ``--kill-after`` runs).
+``soak``   a ``tools/serve_soak.py --report`` file: tenant lifecycle
+           table and queue-depth/round-latency gauges.
 ``lint``   a ``repro lint --report`` file (``repro.lint/v1``): per-code
            diagnostic counts and the worst findings.
 
@@ -83,14 +86,34 @@ def render_bench(report: dict) -> list[str]:
 
 
 def render_serve(report: dict) -> list[str]:
+    mode = report.get("mode", {})
+    title = "## Serve smoke"
+    if mode.get("kill_after") is not None:
+        title = "## Serve restart (kill −9 → resume → replay)"
     lines = [
-        "## Serve smoke",
+        title,
         "",
         f"Streamed **{report.get('events_streamed', '?')}** events over TCP "
         f"to {len(report.get('queries', {}))} live queries "
         f"({report.get('rounds', '?')} processing rounds, "
         f"{report.get('checkpoints', '?')} checkpoints).",
         "",
+    ]
+    flags = [k for k in ("group", "sharded") if mode.get(k)]
+    if flags:
+        lines += [f"Mode: {', '.join(flags)}.", ""]
+    if mode.get("kill_after") is not None:
+        resumed = report.get("resumed") or {}
+        lines += [
+            f"SIGKILLed the server after **{report.get('killed_after', '?')}** "
+            f"events; the restart resumed jobs "
+            f"{', '.join(resumed.get('jobs', [])) or '(none)'} from "
+            f"{resumed.get('wal_events', '?')} WAL events, and the full-stream "
+            f"re-send deduplicated **{report.get('duplicates_on_replay', '?')}** "
+            "durable duplicates.",
+            "",
+        ]
+    lines += [
         "| query | server matches | batch matches | byte-identical |",
         "| --- | ---: | ---: | --- |",
     ]
@@ -99,6 +122,42 @@ def render_serve(report: dict) -> list[str]:
         server = row.get("server_matches", "-")
         batch = row.get("batch_matches", "-")
         lines.append(f"| {name} | {server} | {batch} | {identical} |")
+    verdict = "**OK**" if report.get("ok") else "**FAIL**"
+    lines += ["", f"Verdict: {verdict}"]
+    return lines
+
+
+def render_soak(report: dict) -> list[str]:
+    gauges = report.get("gauges", {})
+    trigger = gauges.get("round_trigger_latency_ms", {})
+    duration = gauges.get("round_duration_ms", {})
+    lines = [
+        "## Serve soak",
+        "",
+        f"**{report.get('tenants', '?')}** tenants for "
+        f"{report.get('seconds', '?')} s: {report.get('events_streamed', '?')} "
+        f"events streamed, {report.get('submitted', '?')} submits, "
+        f"{report.get('cancelled', '?')} cancels, "
+        f"{report.get('rounds', '?')} processing rounds "
+        f"({gauges.get('slo_rounds', '?')} SLO-triggered).",
+        "",
+        f"Queue depth max **{gauges.get('queue_depth_max', '?')}**; "
+        f"round trigger latency p95 {trigger.get('p95_ms', '?')} ms "
+        f"(max {trigger.get('max_ms', '?')} ms); "
+        f"round duration p95 {duration.get('p95_ms', '?')} ms.",
+        "",
+        "| job | tenant | state | rounds | events | matches | max queue |",
+        "| --- | --- | --- | ---: | ---: | ---: | ---: |",
+    ]
+    for job_id, row in sorted(report.get("jobs", {}).items()):
+        state = row.get("state", "?")
+        if state not in ("drained", "cancelled"):
+            state = f"**{state}**"
+        lines.append(
+            f"| {job_id} | {_cell(row.get('name', '?'))} | {state} "
+            f"| {row.get('rounds', '-')} | {row.get('events_processed', '-')} "
+            f"| {row.get('matches', '-')} | {row.get('queue_depth_max', '-')} |"
+        )
     verdict = "**OK**" if report.get("ok") else "**FAIL**"
     lines += ["", f"Verdict: {verdict}"]
     return lines
@@ -155,6 +214,7 @@ RENDERERS = {
     "chaos": render_chaos,
     "bench": render_bench,
     "serve": render_serve,
+    "soak": render_soak,
     "lint": render_lint,
 }
 

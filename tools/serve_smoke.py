@@ -2,13 +2,19 @@
 """End-to-end smoke of `repro serve` for CI (and local debugging).
 
 Boots the real server as a subprocess (`python -m repro serve`, ephemeral
-ports, durable checkpoint dir, stdout/stderr captured to ``--log``),
-then drives it exactly like a tenant would:
+ports, durable state dir, stdout/stderr captured to ``--log``), then
+drives it exactly like a tenant would:
 
-1. submit two catalog queries over the HTTP control API;
+1. submit the catalog queries over the HTTP control API — as separate
+   jobs, or (``--group``) as one shared-scan tenant group; ``--sharded``
+   additionally submits an O3-partitioned inline pattern whose rounds
+   run on the sharded backend;
 2. stream the merged QnV/air-quality workload over the TCP ingestion
-   socket (~2k events, per-source sequence numbers, watermark
-   heartbeats every 500 events);
+   socket (per-source sequence numbers, watermark heartbeats every 500
+   events). With ``--kill-after N`` the server is SIGKILLed after N
+   events, restarted against the same ``--state-dir``, checked for
+   resumed jobs, and the *whole* stream is re-sent (the durable prefix
+   must deduplicate);
 3. drain, and assert every query's matches are byte-identical to the
    one-shot batch reference computed in this process;
 4. assert the metrics endpoint serves a ``repro.metrics/v1`` tree with
@@ -23,6 +29,8 @@ Usage::
 
     PYTHONPATH=src python tools/serve_smoke.py --events 2000 \
         --report serve-smoke-report.json --log serve-smoke.log
+    PYTHONPATH=src python tools/serve_smoke.py --events 2000 \
+        --group --sharded --kill-after 900 --report serve-restart.json
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ from repro.asp.operators.source import ListSource  # noqa: E402
 from repro.asp.runtime import ExecutionSettings, SerialBackend  # noqa: E402
 from repro.asp.runtime.fault.chaos import canonical_match_bytes  # noqa: E402
 from repro.experiments.common import Scale, qnv_aq_workload  # noqa: E402
+from repro.mapping.optimizations import TranslationOptions  # noqa: E402
 from repro.mapping.advisor import recommend_options  # noqa: E402
 from repro.mapping.translator import translate  # noqa: E402
 from repro.patterns import CATALOG  # noqa: E402
@@ -52,8 +61,12 @@ from repro.runtime.service import (  # noqa: E402
     merge_streams_for_wire,
     stream_events,
 )
+from repro.sea.parser import parse_pattern  # noqa: E402
 
 QUERIES = ("traffic-congestion", "street-lighting-demand")
+#: The --sharded job: an O3-partitioned pattern the RA40x proof accepts.
+SHARDED_NAME = "sharded-id"
+SHARDED_PATTERN = "PATTERN SEQ(Q a, V b) WHERE a.id = b.id WITHIN 10 MINUTES"
 
 
 def build_streams(events: int, seed: int) -> dict[str, list]:
@@ -67,9 +80,7 @@ def build_streams(events: int, seed: int) -> dict[str, list]:
     return streams
 
 
-def batch_reference(query_name: str, streams: dict[str, list]) -> bytes:
-    pattern = CATALOG[query_name]()
-    options = recommend_options(pattern).options
+def _batch_bytes(pattern, options, streams: dict[str, list]) -> bytes:
     sources = {
         t: ListSource(streams[t], name=f"batch[{t}]", event_type=t)
         for t in pattern.distinct_event_types()
@@ -79,6 +90,16 @@ def batch_reference(query_name: str, streams: dict[str, list]) -> bytes:
     settings = ExecutionSettings(watermark_interval=query.plan.window_slide)
     SerialBackend().execute(query.env.flow, settings)
     return canonical_match_bytes(query.matches())
+
+
+def batch_reference(query_name: str, streams: dict[str, list]) -> bytes:
+    if query_name == SHARDED_NAME:
+        pattern = parse_pattern(SHARDED_PATTERN, name=SHARDED_NAME)
+        return _batch_bytes(
+            pattern, TranslationOptions(partition_attribute="id"), streams
+        )
+    pattern = CATALOG[query_name]()
+    return _batch_bytes(pattern, recommend_options(pattern).options, streams)
 
 
 def wait_for_ready(path: Path, proc: subprocess.Popen, timeout: float) -> dict:
@@ -92,10 +113,52 @@ def wait_for_ready(path: Path, proc: subprocess.Popen, timeout: float) -> dict:
     raise RuntimeError(f"server not ready within {timeout}s")
 
 
+def start_server(
+    tmp: str, log_file, state_dir: str | None, ready_name: str
+) -> tuple[subprocess.Popen, Path]:
+    ready_file = Path(tmp) / ready_name
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--http-port", "0",
+        "--tcp-port", "0",
+        "--ready-file", str(ready_file),
+        "--round-events", "250",
+        "--checkpoint-interval", "100",
+    ]
+    if state_dir is not None:
+        cmd += ["--state-dir", state_dir]
+    else:
+        cmd += ["--checkpoint-dir", str(Path(tmp) / "checkpoints")]
+    env = dict(os.environ)
+    paths = [str(REPO_ROOT / "src"), env.get("PYTHONPATH")]
+    env["PYTHONPATH"] = os.pathsep.join(p for p in paths if p)
+    proc = subprocess.Popen(
+        cmd,
+        env=env,
+        stdout=log_file,
+        stderr=subprocess.STDOUT,
+        cwd=str(REPO_ROOT),
+    )
+    return proc, ready_file
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", type=int, default=2000)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--group", action="store_true",
+                        help="co-submit the catalog queries as one "
+                             "shared-scan tenant group")
+    parser.add_argument("--sharded", action="store_true",
+                        help="also submit an O3-partitioned job that runs "
+                             "on the sharded backend")
+    parser.add_argument("--kill-after", type=int, metavar="N",
+                        help="SIGKILL the server after N streamed events, "
+                             "restart against the same state dir, and "
+                             "re-send the whole stream")
+    parser.add_argument("--state-dir", metavar="DIR",
+                        help="durable state root (default: a temp dir; "
+                             "required implicitly by --kill-after)")
     parser.add_argument("--report", metavar="PATH", help="write the JSON summary here")
     parser.add_argument(
         "--log", metavar="PATH", default="serve-smoke.log", help="server stdout/stderr capture"
@@ -103,78 +166,152 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeout", type=float, default=60.0)
     args = parser.parse_args(argv)
 
-    report: dict = {"ok": False, "queries": {}, "events_streamed": 0}
+    report: dict = {
+        "ok": False,
+        "queries": {},
+        "events_streamed": 0,
+        "mode": {
+            "group": args.group,
+            "sharded": args.sharded,
+            "kill_after": args.kill_after,
+        },
+    }
     failures: list[str] = []
     log_file = open(args.log, "w")
     with tempfile.TemporaryDirectory() as tmp:
-        ready_file = Path(tmp) / "ready.json"
-        env = dict(os.environ)
-        paths = [str(REPO_ROOT / "src"), env.get("PYTHONPATH")]
-        env["PYTHONPATH"] = os.pathsep.join(p for p in paths if p)
-        proc = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro",
-                "serve",
-                "--http-port",
-                "0",
-                "--tcp-port",
-                "0",
-                "--ready-file",
-                str(ready_file),
-                "--checkpoint-dir",
-                str(Path(tmp) / "checkpoints"),
-                "--round-events",
-                "250",
-                "--checkpoint-interval",
-                "100",
-            ],
-            env=env,
-            stdout=log_file,
-            stderr=subprocess.STDOUT,
-            cwd=str(REPO_ROOT),
-        )
+        durable = args.kill_after is not None or args.state_dir is not None
+        state_dir = args.state_dir or (str(Path(tmp) / "state") if durable else None)
+        proc, ready_file = start_server(tmp, log_file, state_dir, "ready.json")
         try:
             ports = wait_for_ready(ready_file, proc, args.timeout)
-            client = ServiceClient(ports["host"], ports["http_port"])
+            client = ServiceClient(
+                ports["host"], ports["http_port"], retries=3, backoff_base_ms=100
+            )
             print(f"server up: http={ports['http_port']} tcp={ports['tcp_port']}")
 
-            jobs = {}
-            for query_name in QUERIES:
-                info = client.submit({"name": query_name, "query": query_name})
-                jobs[query_name] = info["id"]
-                print(f"submitted {query_name} -> {info['id']}")
+            jobs: dict[str, str] = {}  # query name -> serving job id
+            if args.group:
+                info = client.submit({"name": "group", "queries": list(QUERIES)})
+                for query_name in QUERIES:
+                    jobs[query_name] = info["id"]
+                print(
+                    f"submitted tenant group {info['id']}: "
+                    f"{info['queries']} (shared scans: {info['shared_scans']})"
+                )
+                if not (info["sharing"] and info["sharing"]["ok"]):
+                    failures.append("tenant group lacks a sharing proof")
+            else:
+                for query_name in QUERIES:
+                    info = client.submit({"name": query_name, "query": query_name})
+                    jobs[query_name] = info["id"]
+                    print(f"submitted {query_name} -> {info['id']}")
+            if args.sharded:
+                info = client.submit({
+                    "name": SHARDED_NAME,
+                    "query": {
+                        "pattern": SHARDED_PATTERN,
+                        "name": SHARDED_NAME,
+                        "options": {"o3": "id"},
+                    },
+                    "shards": 2,
+                })
+                jobs[SHARDED_NAME] = info["id"]
+                print(
+                    f"submitted {SHARDED_NAME} -> {info['id']} "
+                    f"(backend={info['backend']}, shards={info['shards']})"
+                )
+                if info["backend"] != "sharded":
+                    failures.append(
+                        f"{SHARDED_NAME}: expected the sharded backend, "
+                        f"got {info['backend']}"
+                    )
 
             streams = build_streams(args.events, args.seed)
             wire = list(merge_streams_for_wire(streams))
+
+            if args.kill_after is not None:
+                prefix = wire[: args.kill_after]
+                summary = stream_events(
+                    ports["host"], ports["tcp_port"], prefix,
+                    source="smoke", watermark_every=500, timeout=args.timeout,
+                )
+                print(
+                    f"streamed {len(prefix)} events pre-kill: "
+                    f"accepted={summary['accepted']}"
+                )
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=args.timeout)
+                print(f"killed server (SIGKILL) after {len(prefix)} events; "
+                      "restarting against the same --state-dir")
+                report["killed_after"] = len(prefix)
+                proc, ready_file = start_server(
+                    tmp, log_file, state_dir, "ready-restart.json"
+                )
+                ports = wait_for_ready(ready_file, proc, args.timeout)
+                client = ServiceClient(
+                    ports["host"], ports["http_port"],
+                    retries=5, backoff_base_ms=100,
+                )
+                resumed = client.server_metrics().get("resumed") or {}
+                report["resumed"] = resumed
+                missing = sorted(set(jobs.values()) - set(resumed.get("jobs", [])))
+                if missing:
+                    failures.append(f"jobs not resumed after restart: {missing}")
+                else:
+                    print(
+                        f"restart resumed jobs={resumed['jobs']} "
+                        f"wal_events={resumed['wal_events']}"
+                    )
+                for job_id in sorted(set(jobs.values())):
+                    status = client.job(job_id)
+                    if status["state"] != "running":
+                        failures.append(
+                            f"{job_id}: resumed in state {status['state']}"
+                        )
+
+            # The full stream — after a kill this is the producer's
+            # re-send: the durable prefix must dedup, the rest is fresh.
             summary = stream_events(
-                ports["host"],
-                ports["tcp_port"],
-                wire,
-                source="smoke",
-                watermark_every=500,
-                timeout=args.timeout,
+                ports["host"], ports["tcp_port"], wire,
+                source="smoke", watermark_every=500, timeout=args.timeout,
             )
             report["events_streamed"] = len(wire)
+            report["duplicates_on_replay"] = summary["duplicates"]
             print(
                 f"streamed {len(wire)} events: accepted={summary['accepted']} "
+                f"duplicates={summary['duplicates']} "
                 f"rejected={summary['rejected']} errors={len(summary['errors'])}"
             )
             if summary["errors"]:
                 failures.append(f"ingest errors: {summary['errors'][:3]}")
             if summary["rejected"]:
                 failures.append(f"{summary['rejected']} events rejected")
+            if args.kill_after is not None and not summary["duplicates"]:
+                failures.append("replay after restart deduplicated nothing")
 
             client.drain()
 
             rounds = checkpoints = 0
+            for job_id in sorted(set(jobs.values())):
+                metrics = client.metrics(job_id)
+                if metrics.get("schema") != "repro.metrics/v1":
+                    failures.append(f"{job_id}: bad metrics schema")
+                ingress = metrics["service"]["ingress"]["ingress"]
+                if ingress["admission.accepted"]["value"] <= 0:
+                    failures.append(f"{job_id}: no admission accounting")
+                rounds += metrics["service"]["rounds"]
+                chain = client.checkpoints(job_id)
+                if not (chain["durable"] and chain["entries"]):
+                    failures.append(f"{job_id}: no durable checkpoints")
+                checkpoints += chain["coordinator"]["count"]
+
             for query_name, job_id in jobs.items():
                 batch = batch_reference(query_name, streams)
                 served_keys = client.matches(job_id)["queries"][query_name]["keys"]
                 served = "\n".join(served_keys).encode("utf-8")
                 identical = served == batch
                 row = {
+                    "job": job_id,
                     "server_matches": len(served_keys),
                     "batch_matches": len(batch.split(b"\n")) if batch else 0,
                     "identical": identical,
@@ -186,18 +323,6 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 if not identical:
                     failures.append(f"{query_name}: server != batch")
-
-                metrics = client.metrics(job_id)
-                if metrics.get("schema") != "repro.metrics/v1":
-                    failures.append(f"{query_name}: bad metrics schema")
-                ingress = metrics["service"]["ingress"]["ingress"]
-                if ingress["admission.accepted"]["value"] <= 0:
-                    failures.append(f"{query_name}: no admission accounting")
-                rounds += metrics["service"]["rounds"]
-                chain = client.checkpoints(job_id)
-                if not (chain["durable"] and chain["entries"]):
-                    failures.append(f"{query_name}: no durable checkpoints")
-                checkpoints += chain["coordinator"]["count"]
             report["rounds"] = rounds
             report["checkpoints"] = checkpoints
 
