@@ -1,0 +1,53 @@
+"""Columnar engine vs row-batched engine (columnar speedup cells).
+
+Every cell pair runs the identical translated plan twice on the
+micro-batch engine — row batches (``batch_size=256``, fusion on) vs
+struct-of-arrays columnar batches — so the ratio isolates the columnar
+data path: vectorized predicate masks, sorted ts-run bulk buffering,
+and the galloping interval-join probe. Match counts must be identical
+within each pair.
+
+The headline >=2x cells (SEQ1, ITER3_1: multi-conjunct filters under
+the O1 interval join) hold at the default 20 k-event scale; smoke
+scales shrink the batches and windows, so the hard floor lives in
+``tools/check_bench_regression.py`` against the blessed baseline, not
+here. The catalog cells (traffic-congestion, stalled-traffic) are
+match-emission-dominated — work shared by both modes — and only need
+parity.
+"""
+
+from benchmarks.common import bench_scale, record, record_rows
+from repro.experiments import columnar_speedup, render_figure
+
+
+def _pairs(rows):
+    cells = {}
+    for row in rows:
+        base = row.approach.rsplit("+", 1)[0]
+        mode = row.approach.rsplit("+", 1)[1]
+        cells.setdefault((row.pattern, base, row.parameter), {})[mode] = row
+    return cells
+
+
+def test_columnar_speedup(benchmark):
+    rows = benchmark.pedantic(
+        lambda: columnar_speedup(bench_scale()), rounds=1, iterations=1
+    )
+    cells = _pairs(rows)
+    report = render_figure(rows, "Columnar engine vs row-batched engine")
+    lines = ["columnar speedup (columnar / batched, identical plan):"]
+    for (pattern, base, parameter), pair in sorted(cells.items()):
+        ratio = pair["columnar"].throughput_tps / pair["batched"].throughput_tps
+        lines.append(f"  {pattern:20s} {parameter:12s} {base:10s} {ratio:6.2f}x")
+    report += "\n\n" + "\n".join(lines)
+    record("columnar", report)
+    record_rows("columnar", rows)
+
+    for key, pair in sorted(cells.items()):
+        batched, columnar = pair["batched"], pair["columnar"]
+        assert columnar.matches == batched.matches, key
+        assert columnar.events_in == batched.events_in, key
+        # Columnar must never lose to the row engine by more than noise.
+        assert columnar.throughput_tps >= batched.throughput_tps * 0.7, (
+            key, batched.throughput_tps, columnar.throughput_tps
+        )

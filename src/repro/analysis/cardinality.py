@@ -42,6 +42,7 @@ from repro.mapping.optimizer.cost import (
 from repro.mapping.optimizer.ir import (
     CountAggregate,
     JoinKind,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
@@ -226,6 +227,33 @@ def interpret_node(
         state_hi = _mul(inner.out_rate.hi, window)
         if node.window_size <= 0:
             introduces = "window size <= 0 never evicts the aggregate buffers"
+            state_hi = math.inf
+        state_iv = Interval(0.0, state_hi)
+    elif isinstance(node, KleeneIterate):
+        (inner,) = children
+        window = _window_seconds(node.window_size)
+        per_window = max(inner.point.out_rate * window, 0.0)
+        # Compositions per window: C(n, m) for the bounded arity; the
+        # unbounded form sums all arities >= m (2^n worst case). The
+        # point estimate keeps the bounded-arity product — honest for
+        # the sparse workloads the exact mapping targets — while the
+        # interval hi records the exponential blowup explicitly.
+        tuples = 1.0
+        for _ in range(node.minimum):
+            tuples = _mul(tuples, max(per_window, 1e-9))
+        out = tuples / window if window > 0 else tuples
+        point = NodeCost(
+            out_rate=out,
+            cpu=inner.point.out_rate + out,
+            state=inner.point.out_rate * window,
+        )
+        out_hi = math.inf if node.unbounded else _mul(
+            tuples if per_window else 0.0, 1.0 / window if window > 0 else 1.0
+        )
+        out_iv = Interval(0.0, out_hi)
+        state_hi = _mul(inner.out_rate.hi, window)
+        if node.window_size <= 0:
+            introduces = "window size <= 0 never evicts the Kleene buffers"
             state_hi = math.inf
         state_iv = Interval(0.0, state_hi)
     elif isinstance(node, NseqPrepare):

@@ -70,6 +70,7 @@ CODES: dict[str, str] = {
     "RA301": "stateful operator declares no state horizon (unbounded state)",
     "RA302": "join-mapped iteration enumerates combinatorial state",
     "RA303": "heavily overlapping sliding windows multiply state",
+    "RA304": "approximate O2 iteration used where the exact Kleene mapping is available",
     # partition safety
     "RA401": "operator on a sharded path is not key-parallel safe",
     "RA402": "partition attribute missing from an input schema",

@@ -20,6 +20,7 @@ from repro.analysis.schema import scan_schema
 from repro.asp.datamodel import TypeRegistry
 from repro.mapping.plan import (
     CountAggregate,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     StreamScan,
@@ -39,7 +40,7 @@ def derived_keys(plan: LogicalPlan) -> set[tuple[str, str]]:
             for left_key, right_key in node.equi_keys:
                 keys.add(left_key)
                 keys.add(right_key)
-        elif isinstance(node, (MultiWayJoin, CountAggregate)):
+        elif isinstance(node, (MultiWayJoin, CountAggregate, KleeneIterate)):
             if node.key_attribute is not None:
                 for alias in node.aliases:
                     keys.add((alias, node.key_attribute))
@@ -78,7 +79,7 @@ def plan_partition_diagnostics(
         stateful_nodes = [
             node.label()
             for node in plan.root.walk()
-            if isinstance(node, (WindowJoin, MultiWayJoin, CountAggregate))
+            if isinstance(node, (WindowJoin, MultiWayJoin, CountAggregate, KleeneIterate))
         ]
         if stateful_nodes:
             out.append(

@@ -18,6 +18,7 @@ from repro.asp.datamodel import Schema, TypeRegistry
 from repro.errors import SchemaError
 from repro.mapping.plan import (
     CountAggregate,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
@@ -135,6 +136,12 @@ def alias_scopes(
                 closed=True,
             )
         }
+    if isinstance(node, KleeneIterate):
+        # Exact compositions carry the inner events verbatim: every
+        # indexed repetition alias resolves to the scanned schema.
+        inner = alias_scopes(node.input, registry, sources)
+        info = next(iter(inner.values()))
+        return {alias: info for alias in node.aliases}
     if isinstance(node, NseqPrepare):
         first = alias_scopes(node.first, registry, sources)
         return {alias: info.extended(AUX_TS) for alias, info in first.items()}

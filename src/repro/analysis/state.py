@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.analysis.diagnostics import Diagnostic, error, warning
 from repro.mapping.plan import (
     CountAggregate,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     WindowJoin,
@@ -71,8 +72,28 @@ def plan_state_diagnostics(
     pattern: Optional[Pattern] = None,
     iteration_strategy: str = "join",
 ) -> list[Diagnostic]:
-    """RA302/RA303: statically visible state multipliers."""
+    """RA302–RA304: statically visible state multipliers and the
+    approximate-vs-exact iteration mismatch surface."""
     out: list[Diagnostic] = []
+    for node in plan.root.walk():
+        if isinstance(node, CountAggregate):
+            # O2's γcount emits one approximate match per (key, window)
+            # while the columnar KleeneIterate operator enumerates the
+            # same iterations exactly, under the same windowed state
+            # bound. Surfacing the trade keeps `allow_approximate` an
+            # informed opt-in rather than a silent output change.
+            out.append(
+                warning(
+                    "RA304",
+                    "plan maps this iteration to the approximate O2 count "
+                    "(one match per key and window); the exact columnar "
+                    "Kleene operator covers the same pattern with the same "
+                    "bounded state — translate with "
+                    "iteration_strategy='exact' unless approximate output "
+                    "was deliberate (allow_approximate)",
+                    node.label(),
+                )
+            )
     if pattern is not None and iteration_strategy != "aggregate":
         for node in pattern.root.walk():
             if (
@@ -95,7 +116,7 @@ def plan_state_diagnostics(
         slide: int | None = None
         if isinstance(node, WindowJoin) and node.strategy is WindowStrategy.SLIDING:
             size, slide = node.window_size, node.window_slide
-        elif isinstance(node, (MultiWayJoin, CountAggregate)):
+        elif isinstance(node, (MultiWayJoin, CountAggregate, KleeneIterate)):
             size, slide = node.window_size, node.window_slide
         if size is None or slide is None or size <= 0 or slide <= 0:
             continue

@@ -23,6 +23,7 @@ from repro.analysis.diagnostics import Diagnostic, error, warning
 from repro.errors import GraphError
 from repro.mapping.plan import (
     CountAggregate,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
@@ -74,7 +75,7 @@ def plan_time_diagnostics(
                 out.extend(
                     _window_diagnostics(node.label(), node.window_size, node.window_slide)
                 )
-        elif isinstance(node, (MultiWayJoin, CountAggregate)):
+        elif isinstance(node, (MultiWayJoin, CountAggregate, KleeneIterate)):
             out.extend(
                 _window_diagnostics(node.label(), node.window_size, node.window_slide)
             )

@@ -20,6 +20,8 @@ This module provides that unified representation:
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left as _bisect_left, bisect_right as _bisect_right
+from operator import attrgetter as _attrgetter
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
@@ -238,6 +240,183 @@ class ComplexEvent:
     def __repr__(self) -> str:
         types = ",".join(e.event_type for e in self.events)
         return f"ComplexEvent([{types}], ts_b={self.ts_b}, ts_e={self.ts_e})"
+
+
+#: Per-entry overhead of a struct-of-arrays column slot (a CPython list
+#: element is one pointer). Used by the cached columnar state accounting.
+COLUMN_SLOT_BYTES = 8
+
+#: Columns a :class:`ColumnStore` can materialize. ``event_type`` rides
+#: along so type routing can compare against a plain string column.
+_COLUMN_ATTRIBUTES = ("ts", "id", "value", "lat", "lon", "event_type")
+
+
+class ColumnStore:
+    """Lazily-built struct-of-arrays view over one source's event list.
+
+    The columnar engine builds one store per source at job start; every
+    micro-batch of that source is then a zero-copy ``(start, stop)`` or
+    index-selection view (:class:`ColumnarBatch`) into these shared
+    columns. Columns materialize on first access only — a plan whose
+    predicates touch ``value`` never pays for ``lat``/``lon`` columns.
+    """
+
+    __slots__ = ("events", "_columns", "_uniform_type", "_has_uniform")
+
+    def __init__(self, events: Sequence[Event]):
+        self.events = events
+        self._columns: dict[str, list] = {}
+        self._uniform_type: str | None = None
+        self._has_uniform = False
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def column(self, name: str) -> list:
+        """The full base column ``name`` (one entry per event)."""
+        col = self._columns.get(name)
+        if col is None:
+            if name not in _COLUMN_ATTRIBUTES:
+                raise SchemaError(f"no column for attribute '{name}'")
+            # map + attrgetter runs the gather loop in C.
+            col = self._columns[name] = list(map(_attrgetter(name), self.events))
+        return col
+
+    @property
+    def uniform_type(self) -> str | None:
+        """The single event type of this store, or ``None`` when mixed.
+
+        Computed once; type-routing filters use it to pass whole batches
+        through without touching any per-event data.
+        """
+        if not self._has_uniform:
+            self._has_uniform = True
+            events = self.events
+            if events:
+                first = events[0].event_type
+                if all(e.event_type == first for e in events):
+                    self._uniform_type = first
+        return self._uniform_type
+
+    def locate(self, run: Sequence[Event]) -> int | None:
+        """Start offset of ``run`` inside this store, or ``None``.
+
+        Identity comparison only — a view is handed out solely for runs
+        that are literal slices of the stored event list.
+        """
+        if not run:
+            return None
+        ts = self.column("ts")
+        events = self.events
+        first = run[0]
+        lo = _bisect_left(ts, first.ts)
+        hi = _bisect_right(ts, first.ts)
+        for pos in range(lo, hi):
+            if events[pos] is first:
+                stop = pos + len(run)
+                if stop <= len(events) and events[stop - 1] is run[-1]:
+                    return pos
+                return None
+        return None
+
+
+class ColumnarBatch:
+    """A zero-copy selection of one :class:`ColumnStore`'s rows.
+
+    Either a contiguous ``[start, stop)`` range (fresh source batches) or
+    an explicit index list (after predicate masks). Operators that
+    understand columns read ``store.column(name)[i]`` for ``i`` in
+    :meth:`iter_indices`; everything else calls :meth:`to_events` and
+    processes rows — the universal fallback that keeps mixed plans
+    running. The events returned are the *same objects* the row engine
+    would deliver, which is what makes columnar output byte-comparable.
+    """
+
+    __slots__ = ("store", "start", "stop", "indices", "_size_bytes")
+
+    def __init__(
+        self,
+        store: ColumnStore,
+        start: int = 0,
+        stop: int | None = None,
+        indices: Sequence[int] | None = None,
+    ):
+        self.store = store
+        self.indices = indices
+        if indices is None:
+            self.start = start
+            self.stop = len(store.events) if stop is None else stop
+        else:
+            self.start = 0
+            self.stop = len(indices)
+        self._size_bytes: int | None = None
+
+    @staticmethod
+    def from_events(events: Sequence[Event]) -> "ColumnarBatch":
+        """Ad-hoc batch over a standalone run (no shared store)."""
+        return ColumnarBatch(ColumnStore(events))
+
+    def __len__(self) -> int:
+        if self.indices is None:
+            return self.stop - self.start
+        return len(self.indices)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def iter_indices(self) -> Sequence[int]:
+        """Base-column indices of the selected rows, in stream order."""
+        if self.indices is None:
+            return range(self.start, self.stop)
+        return self.indices
+
+    def column(self, name: str) -> list:
+        return self.store.column(name)
+
+    def column_values(self, name: str) -> list:
+        """Values of column ``name`` for the selected rows only."""
+        col = self.store.column(name)
+        if self.indices is None:
+            return col[self.start : self.stop]
+        return [col[i] for i in self.indices]
+
+    @property
+    def uniform_type(self) -> str | None:
+        return self.store.uniform_type
+
+    def select(self, indices: Sequence[int]) -> "ColumnarBatch":
+        """A narrower view over the same store (predicate mask output)."""
+        return ColumnarBatch(self.store, indices=indices)
+
+    def to_events(self) -> list[Event]:
+        """Materialize the selected rows (the row-engine fallback)."""
+        if self.indices is None:
+            events = self.store.events
+            if isinstance(events, list):
+                return events[self.start : self.stop]
+            return list(events[self.start : self.stop])
+        events = self.store.events
+        return [events[i] for i in self.indices]
+
+    @property
+    def size_bytes(self) -> int:
+        """Cached footprint of the selected rows *plus* column overhead.
+
+        State ledgers adjust once per bulk insert with this value (and
+        symmetric per-event eviction uses the per-event sizes), so the
+        peak-state gauges and the RA803 budget check stay truthful under
+        the columnar representation.
+        """
+        size = self._size_bytes
+        if size is None:
+            events = self.store.events
+            size = sum(events[i].size_bytes for i in self.iter_indices())
+            self._size_bytes = size
+        return size
+
+    def __repr__(self) -> str:
+        kind = "range" if self.indices is None else "index"
+        return f"ColumnarBatch({kind}, n={len(self)})"
 
 
 @dataclass(frozen=True)

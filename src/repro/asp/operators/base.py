@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence, Union
 
-from repro.asp.datamodel import ComplexEvent, Event
+from repro.asp.datamodel import ColumnarBatch, ComplexEvent, Event
 from repro.asp.state import StateHandle, StateRegistry
 from repro.asp.time import Watermark
 
@@ -124,6 +124,19 @@ class Operator:
         for item in items:
             out.extend(process(item, port))
         return out
+
+    def process_columnar(self, batch: "ColumnarBatch", port: int = 0):
+        """Handle a struct-of-arrays micro-batch.
+
+        The columnar engine delivers batches as zero-copy views over
+        per-source column stores. Operators that can work on columns
+        override this and return either a new :class:`ColumnarBatch`
+        (keeping the run columnar for downstream operators) or a plain
+        item list. The default materializes the rows and delegates to
+        :meth:`process_batch` — the universal row fallback that makes any
+        columnar/row operator mix execute with identical semantics.
+        """
+        return self.process_batch(batch.to_events(), port)
 
     def on_watermark(self, watermark: Watermark) -> Iterable[Item]:
         """Event time advanced past ``watermark.value``; emit results of

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from repro.asp.datamodel import ColumnarBatch
 from repro.asp.operators.base import Item, Operator
 
 
@@ -25,6 +26,10 @@ class FilterOperator(Operator):
         # callable — it is the reference semantics the compiled form is
         # validated against (the equivalence suite runs both).
         self.fast_predicate = getattr(predicate, "compiled", None) or predicate
+        # Columnar twin: ``mask(store, indices) -> indices`` evaluating
+        # the predicate over whole columns. Attached by the translator
+        # when every pushdown conjunct is maskable.
+        self.columnar_mask = getattr(predicate, "columnar", None)
         self.passed = 0
         self.dropped = 0
 
@@ -46,6 +51,25 @@ class FilterOperator(Operator):
         self.passed += len(out)
         self.dropped += n - len(out)
         return out
+
+    def process_columnar(self, batch: ColumnarBatch, port: int = 0):
+        mask = self.columnar_mask
+        if mask is not None:
+            kept = mask(batch.store, batch.iter_indices())
+        else:
+            # No compiled mask: run the row predicate by index, still
+            # avoiding the materialized slice and keeping the output
+            # columnar for downstream operators.
+            predicate = self.fast_predicate
+            events = batch.store.events
+            kept = [i for i in batch.iter_indices() if predicate(events[i])]
+        n = len(batch)
+        self.work_units += n
+        self.passed += len(kept)
+        self.dropped += n - len(kept)
+        if len(kept) == n:
+            return batch
+        return batch.select(kept)
 
     @property
     def observed_selectivity(self) -> float:
@@ -69,3 +93,24 @@ class TypeFilterOperator(FilterOperator):
             lambda item: getattr(item, "event_type", None) == event_type,
             name or f"type-filter[{event_type}]",
         )
+
+    def process_columnar(self, batch: ColumnarBatch, port: int = 0):
+        n = len(batch)
+        self.work_units += n
+        # A source whose store is uniformly this type routes the whole
+        # batch through in O(1) — no per-event work at all. This is the
+        # common case: each per-type sub-plan reads one physical stream.
+        if batch.uniform_type is not None:
+            if batch.uniform_type == self.event_type:
+                self.passed += n
+                return batch
+            self.dropped += n
+            return batch.select([])
+        types = batch.column("event_type")
+        wanted = self.event_type
+        kept = [i for i in batch.iter_indices() if types[i] == wanted]
+        self.passed += len(kept)
+        self.dropped += n - len(kept)
+        if len(kept) == n:
+            return batch
+        return batch.select(kept)

@@ -49,6 +49,11 @@ class ExecutionSettings:
     batch_size: int = 1
     #: Compile linear stateless filter->map segments into fused stages.
     fusion: bool = False
+    #: Drive micro-batches as struct-of-arrays column views. Operators
+    #: that understand columns process them directly (vectorized masks,
+    #: sorted-run joins); everything else sees the same row batches via
+    #: an automatic ``to_events()`` fallback, so results stay identical.
+    columnar: bool = False
 
     def without_hooks(self) -> "ExecutionSettings":
         """A copy safe to ship to another process (callables stripped;

@@ -78,6 +78,7 @@ def run_chaos_suite(
     patterns: list[str] | None = None,
     batch_size: int = 1,
     fusion: bool = False,
+    columnar: bool = False,
 ) -> dict[str, Any]:
     """Run the full chaos suite; returns the structured report.
 
@@ -88,7 +89,9 @@ def run_chaos_suite(
     micro-batched engine while the clean reference stays per-event, so
     the byte-identity check then covers recovery *and* the batched hot
     path in one gate (batch cuts must land on the same consistent cuts
-    as the reference's between-event checkpoints).
+    as the reference's between-event checkpoints). ``columnar`` moves
+    the crashed executions onto the struct-of-arrays engine so the same
+    gate also covers the columnar hot path.
     """
     from repro.mapping.advisor import recommend_options
     from repro.patterns import CATALOG
@@ -113,11 +116,11 @@ def run_chaos_suite(
         }
         entry["serial"] = _serial_chaos(
             pattern, streams, options, clean_bytes, total, checkpoint_interval,
-            rng, batch_size, fusion,
+            rng, batch_size, fusion, columnar,
         )
         entry["sharded"] = _sharded_chaos(
             pattern, streams, total, shards, checkpoint_interval,
-            rng, batch_size, fusion,
+            rng, batch_size, fusion, columnar,
         )
         queries.append(entry)
 
@@ -133,6 +136,7 @@ def run_chaos_suite(
         "checkpoint_interval": checkpoint_interval,
         "batch_size": batch_size,
         "fusion": fusion,
+        "columnar": columnar,
         "queries": queries,
         "ok": all(_passed(q["serial"]) and _passed(q["sharded"]) for q in queries),
     }
@@ -147,14 +151,14 @@ def _seeded_offsets(rng: random.Random, total: int, interval: int, count: int) -
 
 def _serial_chaos(
     pattern, streams, options, clean_bytes, total, interval, rng,
-    batch_size, fusion,
+    batch_size, fusion, columnar=False,
 ) -> dict[str, Any]:
     offsets = _seeded_offsets(rng, total, interval, count=2)
     plan = FaultPlan(tuple(FaultSpec("crash", at_event=o) for o in offsets))
     query = _fresh_query(pattern, streams, options)
     result = query.execute(
         checkpoint_interval=interval, fault_plan=plan,
-        batch_size=batch_size, fusion=fusion,
+        batch_size=batch_size, fusion=fusion, columnar=columnar,
     )
     recovered_bytes = canonical_match_bytes(query.matches())
     recovery = result.metrics.get("recovery", {})
@@ -171,7 +175,8 @@ def _serial_chaos(
 
 
 def _sharded_chaos(
-    pattern, streams, total, shards, interval, rng, batch_size, fusion
+    pattern, streams, total, shards, interval, rng, batch_size, fusion,
+    columnar=False,
 ) -> dict[str, Any]:
     """Crash every shard once; compare against a clean keyed serial run.
 
@@ -202,7 +207,7 @@ def _sharded_chaos(
     query = _fresh_query(pattern, streams, keyed)
     result = query.execute(
         backend=backend, checkpoint_interval=interval, fault_plan=plan,
-        batch_size=batch_size, fusion=fusion,
+        batch_size=batch_size, fusion=fusion, columnar=columnar,
     )
     recovered_bytes = canonical_match_bytes(query.matches())
     recovery = result.metrics.get("recovery", {})

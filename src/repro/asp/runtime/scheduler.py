@@ -56,6 +56,7 @@ def merge_batches(
     cut_indices: Sequence[int] = (),
     cut_intervals: Sequence[int] = (),
     regroup: bool = False,
+    arrays=None,
 ) -> Iterator[tuple[int, list[Event], Watermark | None, int]]:
     """Group the merged source stream into watermark-aligned micro-batches.
 
@@ -90,6 +91,12 @@ def merge_batches(
     found with a galloping bisect merge and watermark emission points are
     located by bisect — per-batch instead of per-event scheduling cost.
     Otherwise a generic per-event heap merge produces identical batches.
+
+    ``arrays`` lets the caller hand in the per-source random-access views
+    (the exact shape :func:`_sorted_source_arrays` returns) when it has
+    already materialized and ts-sorted-checked them — the columnar drive
+    shares its column stores' ts arrays this way instead of paying a
+    second per-event pass.
     """
     cuts = sorted({c for c in cut_indices if c > start_offset})
     intervals = [iv for iv in cut_intervals if iv and iv > 0]
@@ -106,7 +113,8 @@ def merge_batches(
             limit = cuts[pos]
         return limit
 
-    arrays = _sorted_source_arrays(flow)
+    if arrays is None:
+        arrays = _sorted_source_arrays(flow)
     if arrays is not None:
         if regroup:
             yield from _merge_windows(arrays, watermarks, limit_for, start_offset)

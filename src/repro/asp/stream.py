@@ -29,6 +29,7 @@ from repro.asp.operators.aggregate import SortedWindowUdfAggregate, WindowAggreg
 from repro.asp.operators.base import Item, Operator
 from repro.asp.operators.filter import FilterOperator, TypeFilterOperator
 from repro.asp.operators.join import IntervalJoin, SlidingWindowJoin
+from repro.asp.operators.kleene import KleeneIterOperator
 from repro.asp.operators.keyby import KeyByOperator, KeySelector
 from repro.asp.operators.map import FlatMapOperator, MapOperator, SchemaAlignOperator
 from repro.asp.operators.process import NextOccurrenceUdf
@@ -171,6 +172,29 @@ class StreamHandle:
             )
         )
 
+    def kleene_iterate(
+        self,
+        window: WindowSpec,
+        minimum: int,
+        unbounded: bool = False,
+        condition: Callable[[Event, Event], bool] | None = None,
+        key_fn: KeySelector | None = None,
+        emit_ts: Literal["min", "max"] = "min",
+        name: str | None = None,
+    ) -> "StreamHandle":
+        """Exact ITER^m / unbounded Kleene+ (the columnar iteration)."""
+        return self._attach(
+            KleeneIterOperator(
+                window,
+                minimum=minimum,
+                unbounded=unbounded,
+                condition=condition,
+                key_fn=key_fn,
+                emit_ts=emit_ts,
+                name=name,
+            )
+        )
+
     def next_occurrence(
         self,
         positive_type: str,
@@ -219,6 +243,7 @@ class StreamEnvironment:
         restart_backoff_s: float = 0.0,
         batch_size: int = 1,
         fusion: bool = False,
+        columnar: bool = False,
     ) -> RunResult:
         resolved = resolve_backend(backend)
         settings = ExecutionSettings(
@@ -233,6 +258,7 @@ class StreamEnvironment:
             restart_backoff_s=restart_backoff_s,
             batch_size=batch_size,
             fusion=fusion,
+            columnar=columnar,
         )
         return resolved.execute(self.flow, settings)
 

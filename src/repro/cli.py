@@ -85,6 +85,9 @@ def _options_from_args(args: argparse.Namespace) -> TranslationOptions:
         kwargs["join_strategy"] = WindowStrategy.INTERVAL
     if getattr(args, "o2", False):
         kwargs["iteration_strategy"] = "aggregate"
+    if getattr(args, "iter_strategy", None):
+        # Explicit --iter wins over the --o2 shorthand.
+        kwargs["iteration_strategy"] = args.iter_strategy
     if getattr(args, "o3", None):
         kwargs["partition_attribute"] = args.o3
     if getattr(args, "multiway", False):
@@ -238,6 +241,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 max_restarts=getattr(args, "max_restarts", 3),
                 batch_size=getattr(args, "batch_size", 1),
                 fusion=not getattr(args, "no_fusion", True),
+                columnar=getattr(args, "columnar", False),
             )
             matches = query.matches()
             recovery = run.metrics.get("recovery")
@@ -508,6 +512,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         patterns=args.patterns or None,
         batch_size=args.batch_size,
         fusion=args.batch_size > 1 and not args.no_fusion,
+        columnar=args.columnar,
     )
     for query in report["queries"]:
         serial = query["serial"]
@@ -571,6 +576,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_restarts=args.max_restarts,
         batch_size=args.batch_size,
         fusion=args.batch_size > 1 and not args.no_fusion,
+        columnar=args.columnar,
         max_out_of_orderness=args.max_out_of_orderness,
         optimize=args.optimize,
         checkpoint_dir=args.checkpoint_dir,
@@ -640,6 +646,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
         p.add_argument("--pattern-file", help="file containing the pattern text")
         p.add_argument("--o1", action="store_true", help="use interval joins (O1)")
         p.add_argument("--o2", action="store_true", help="aggregate iterations (O2)")
+        p.add_argument("--iter", dest="iter_strategy",
+                       choices=("join", "aggregate", "exact"),
+                       help="iteration mapping: self-join chain, approximate "
+                            "O2 count, or the exact columnar Kleene operator")
         p.add_argument("--o3", metavar="ATTR", help="partition by attribute (O3)")
         p.add_argument("--multiway", action="store_true",
                        help="compose flat SEQ/AND with one n-ary window join")
@@ -696,6 +706,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-fusion", action="store_true",
                      help="disable compiled fusion of stateless "
                           "filter/map segments")
+    run.add_argument("--columnar", action="store_true",
+                     help="execute batches as struct-of-arrays columns "
+                          "(vectorized predicates, bisection join probe)")
     run.set_defaults(func=cmd_run)
 
     metrics = sub.add_parser("metrics",
@@ -768,6 +781,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-fusion", action="store_true",
                        help="disable compiled fusion of stateless "
                             "filter/map segments in batched chaos runs")
+    chaos.add_argument("--columnar", action="store_true",
+                       help="run the crashed executions on the columnar "
+                            "struct-of-arrays engine")
     chaos.add_argument("--report", metavar="PATH",
                        help="write the structured chaos report as JSON")
     chaos.set_defaults(func=cmd_chaos)
@@ -819,6 +835,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="micro-batch size for processing rounds")
     serve.add_argument("--no-fusion", action="store_true",
                        help="disable compiled fusion in batched rounds")
+    serve.add_argument("--columnar", action="store_true",
+                       help="default processing rounds to the columnar "
+                            "struct-of-arrays engine (per-job override: "
+                            "submit with \"columnar\": true/false)")
     serve.add_argument("--max-out-of-orderness", type=int, default=0,
                        help="allowed event-time disorder of ingestion (ms)")
     serve.add_argument("--optimize", choices=OPTIMIZE_MODES, default="off",

@@ -38,7 +38,9 @@ class TranslationOptions:
 
     #: Physical windowing of joins; ``INTERVAL`` enables O1.
     join_strategy: WindowStrategy = WindowStrategy.SLIDING
-    #: ``"join"`` (Table 1 default) or ``"aggregate"`` (O2).
+    #: ``"join"`` (Table 1 default), ``"aggregate"`` (O2, approximate) or
+    #: ``"exact"`` (the columnar exact-Kleene operator: every qualifying
+    #: composition, bounded and unbounded, Eq. 12 semantics).
     iteration_strategy: str = "join"
     #: Attribute shared by all events used as Equi-Join key (O3). The
     #: paper keys by the sensor ``id``.
@@ -60,7 +62,7 @@ class TranslationOptions:
     use_multiway_joins: bool = False
 
     def __post_init__(self) -> None:
-        if self.iteration_strategy not in ("join", "aggregate"):
+        if self.iteration_strategy not in ("join", "aggregate", "exact"):
             raise OptimizationError(
                 f"unknown iteration strategy '{self.iteration_strategy}'"
             )
@@ -173,9 +175,11 @@ def check_applicability(pattern: Pattern, options: TranslationOptions) -> list[s
 
     for node in root.walk():
         if isinstance(node, Iteration) and iteration_requires_aggregate(node):
-            if options.iteration_strategy != "aggregate":
+            if options.iteration_strategy == "join":
                 notes.append(
-                    "unbounded iteration (Kleene+) requires O2; switching the "
-                    "iteration strategy to 'aggregate' (Section 4.3.2)"
+                    "unbounded iteration (Kleene+) has no join mapping; "
+                    "switching the iteration strategy to 'aggregate' "
+                    "(Section 4.3.2) — use iteration_strategy='exact' for "
+                    "the exact composition-per-match variant"
                 )
     return notes

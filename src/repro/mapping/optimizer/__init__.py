@@ -111,7 +111,10 @@ def optimize_plan(
     Deterministic (same plan + options + model → same output) and, for
     the default rule set without ``allow_approximate``, output-preserving
     under the RA70x invariants. The returned plan carries the full
-    :class:`RuleTrace` in ``plan.trace``.
+    :class:`RuleTrace` in ``plan.trace``. Plans that did opt into the
+    approximate O2 mapping carry an RA304 lint warning, since the exact
+    columnar Kleene operator (``iteration_strategy="exact"``) covers the
+    same patterns with the same bounded state.
     """
     from repro.mapping.optimizations import TranslationOptions
     from repro.mapping.optimizer.cost import StaticCostModel

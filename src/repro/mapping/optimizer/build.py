@@ -43,6 +43,7 @@ from repro.mapping.optimizer.ir import (
     CountAggregate,
     IterationInfo,
     JoinKind,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
@@ -254,9 +255,28 @@ class _PlanBuilder:
             )
         )
         strategy = self.options.iteration_strategy
-        if iteration_requires_aggregate(node):
-            # Kleene+ has no join mapping (Table 1: unbounded m -> O2).
+        if iteration_requires_aggregate(node) and strategy == "join":
+            # Kleene+ has no join mapping (Table 1: unbounded m -> O2);
+            # the exact operator handles unbounded natively.
             strategy = "aggregate"
+        if strategy == "exact":
+            scan = self._scan(
+                EventTypeRef(node.operand.event_type, node.operand.alias),
+                extra_bare_alias=None,
+            )
+            key_attribute = self.options.partition_attribute
+            consumed_attr = self._consume_iteration_equi(node)
+            if consumed_attr is not None and key_attribute is None:
+                key_attribute = consumed_attr
+            return KleeneIterate(
+                input=scan,
+                minimum=node.count,
+                unbounded=bool(node.minimum_occurrences),
+                window_size=self.window_size,
+                window_slide=self.window_slide,
+                key_attribute=key_attribute,
+                condition=node.condition,
+            )
         if strategy == "aggregate":
             scan = self._scan(
                 EventTypeRef(node.operand.event_type, node.operand.alias),

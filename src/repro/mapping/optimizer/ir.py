@@ -236,6 +236,44 @@ class CountAggregate(PlanNode):
 
 
 @dataclass(frozen=True)
+class KleeneIterate(PlanNode):
+    """Exact ``ITER^m`` / unbounded Kleene+ — the columnar iteration.
+
+    Unlike :class:`CountAggregate` (one approximate count tuple per
+    window) this emits every qualifying composition: strictly
+    ts-increasing combinations of exactly ``minimum`` events (bounded) or
+    at least ``minimum`` events (``unbounded=True``), with the optional
+    consecutive condition applied to adjacent pairs — the oracle's Eq. 12
+    semantics, window by window with first-window deduplication.
+    """
+
+    input: PlanNode
+    minimum: int
+    unbounded: bool
+    window_size: int
+    window_slide: int
+    key_attribute: str | None = None
+    #: Opaque inter-event condition applied to adjacent repetitions.
+    condition: object | None = None
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        # Bounded: the canonical indexed repetition aliases of the join
+        # chain. Unbounded compositions have no static arity; the first
+        # ``minimum`` repetitions are addressable (projection zips).
+        base = self.input.aliases[0]
+        return tuple(f"{base}[{i}]" for i in range(1, self.minimum + 1))
+
+    def inputs(self) -> tuple[PlanNode, ...]:
+        return (self.input,)
+
+    def label(self) -> str:
+        arity = f"{self.minimum}+" if self.unbounded else str(self.minimum)
+        key = f" by {self.key_attribute}" if self.key_attribute else ""
+        return f"KleeneIterate[{arity}{key}]"
+
+
+@dataclass(frozen=True)
 class NseqPrepare(PlanNode):
     """Union(T1, T2) + next-occurrence UDF of the NSEQ mapping.
 

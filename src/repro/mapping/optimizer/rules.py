@@ -23,9 +23,13 @@ Inventory, in application order:
 6.  :class:`AnnotateFusionSegments` — records the stateless stage runs
     the batched engine will fuse into single passes; placement becomes
     auditable in ``repro explain`` without changing the plan shape.
+7.  :class:`AnnotateColumnarSegments` — records which scans run as one
+    vectorized column mask and which joins use the galloping sorted
+    probe under the columnar engine, with cardinality-interval
+    justifications; annotation only, like rule 6.
 
-Rules 1–4 and 6 are output-preserving and run under the engine's RA70x
-invariant check; rule 5 declares ``preserves_output = False``.
+Rules 1–4, 6 and 7 are output-preserving and run under the engine's
+RA70x invariant check; rule 5 declares ``preserves_output = False``.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ from repro.mapping.optimizer.cost import (
 from repro.mapping.optimizer.ir import (
     CountAggregate,
     JoinKind,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
@@ -66,7 +71,7 @@ def _rebuild(node: PlanNode, fn: Callable[[PlanNode], PlanNode]) -> PlanNode:
         return dc_replace(node, left=fn(node.left), right=fn(node.right))
     if isinstance(node, (UnionAll, MultiWayJoin)):
         return dc_replace(node, parts=tuple(fn(p) for p in node.parts))
-    if isinstance(node, (SchemaAlign, PostFilter, Permute, CountAggregate)):
+    if isinstance(node, (SchemaAlign, PostFilter, Permute, CountAggregate, KleeneIterate)):
         return dc_replace(node, input=fn(node.input))
     if isinstance(node, NseqPrepare):
         return dc_replace(node, first=fn(node.first), negated=fn(node.negated))
@@ -542,6 +547,70 @@ class AnnotateFusionSegments(Rule):
         )
 
 
+class AnnotateColumnarSegments(Rule):
+    """Record the plan segments the columnar engine vectorizes.
+
+    The columnar backend (``columnar=True``) drives struct-of-arrays
+    batches; a scan filter runs as one compiled column mask only when
+    every conjunct compiles via :func:`repro.sea.predicates.compile_mask`
+    (attribute/const comparisons — UDFs and cross-alias conjuncts fall
+    back to row evaluation). Interval joins probe their ts-sorted side
+    buffers with galloping pointers regardless of filters. This rule
+    writes both segment kinds into the plan's notes, with the cardinality
+    interval of each masked scan as the justification — a wide survivor
+    interval means the mask saves many per-event closure calls.
+    Annotation only — the plan tree is untouched.
+    """
+
+    name = "annotate-columnar-segments"
+    description = "make columnar mask/probe segment placement explicit"
+
+    def apply(self, plan: LogicalPlan, ctx: OptimizeContext) -> RuleDecision:
+        from repro.analysis.cardinality import interpret_node, _join_ordinals
+        from repro.sea.predicates import compile_mask
+
+        notes: list[str] = []
+        cache: dict = {}
+        ordinals = _join_ordinals(plan.root)
+        for node in plan.root.walk():
+            if isinstance(node, StreamScan) and node.filters:
+                if compile_mask(node.filters) is None:
+                    notes.append(
+                        f"columnar: {node.label()} stays row-at-a-time "
+                        "(filter not mask-compilable)"
+                    )
+                    continue
+                bounds = interpret_node(node, ctx.model, cache, ordinals)
+                rate = bounds.out_rate
+                survivors = (
+                    f"survivors <= {rate.hi:.3g}/s" if rate.hi != float("inf")
+                    else "survivor rate unknown"
+                )
+                notes.append(
+                    f"columnar segment: {node.label()} -> one vectorized "
+                    f"mask pass ({len(node.filters)} conjunct(s), {survivors})"
+                )
+            elif isinstance(node, WindowJoin) and node.strategy is WindowStrategy.INTERVAL:
+                notes.append(
+                    f"columnar segment: {node.label()} -> galloping probe "
+                    "over ts-sorted side buffers"
+                )
+            elif isinstance(node, KleeneIterate):
+                notes.append(
+                    f"columnar segment: {node.label()} -> per-window run "
+                    "enumeration over the sorted ts column"
+                )
+        segments = [n for n in notes if n.startswith("columnar segment")]
+        if not segments:
+            return RuleDecision.decline(
+                "no mask-compilable scan or columnar-probed operator"
+            )
+        return RuleDecision.fire(
+            dc_replace(plan, notes=plan.notes + tuple(notes)),
+            f"marked {len(segments)} columnar segment(s) for the columnar engine",
+        )
+
+
 #: The compiler's rule sequence, applied in this order by
 #: ``optimize_plan``. Order matters: pushdown before reordering (theta
 #: placement affects join selectivity estimates), reordering before the
@@ -553,4 +622,5 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     ChooseIntervalWindows(),
     ChooseAggregateIteration(),
     AnnotateFusionSegments(),
+    AnnotateColumnarSegments(),
 )

@@ -12,6 +12,7 @@ from repro.mapping.optimizer.ir import (
     CountAggregate,
     IterationInfo,
     JoinKind,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
@@ -30,6 +31,7 @@ __all__ = [
     "CountAggregate",
     "IterationInfo",
     "JoinKind",
+    "KleeneIterate",
     "LogicalPlan",
     "MultiWayJoin",
     "NseqPrepare",

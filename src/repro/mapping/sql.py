@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.asp.time import MS_PER_MINUTE
 from repro.mapping.plan import (
     CountAggregate,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
@@ -139,6 +140,23 @@ def _collect(node: PlanNode, tables: list[str], where: list[str], notes: list[st
         )
         tables.append(clause)
         notes.append("O2: iteration approximated by windowed count aggregation")
+        return
+    if isinstance(node, KleeneIterate):
+        inner: list[str] = []
+        inner_where: list[str] = []
+        _collect(node.input, inner, inner_where, notes)
+        arity = f"{node.minimum}+" if node.unbounded else str(node.minimum)
+        partition = f" PARTITION BY {node.key_attribute}" if node.key_attribute else ""
+        clause = (
+            f"(SELECT kleene({arity}) FROM {', '.join(inner)}"
+            + (f" WHERE {' AND '.join(inner_where)}" if inner_where else "")
+            + f"{partition} PER window)"
+        )
+        tables.append(clause)
+        notes.append(
+            "exact Kleene iteration: every ts-increasing composition per "
+            "window, first-window deduplicated (columnar ITER operator)"
+        )
         return
     raise TypeError(f"cannot render plan node {node.label()}")
 

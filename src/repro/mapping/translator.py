@@ -29,6 +29,7 @@ from repro.mapping.optimizer.build import build_plan
 from repro.mapping.optimizer.cost import CostModel
 from repro.mapping.optimizer.ir import (
     CountAggregate,
+    KleeneIterate,
     LogicalPlan,
     MultiWayJoin,
     NseqPrepare,
@@ -42,7 +43,7 @@ from repro.mapping.optimizer.ir import (
     WindowStrategy,
 )
 from repro.sea.ast import Pattern
-from repro.sea.predicates import Predicate, compile_check
+from repro.sea.predicates import Predicate, compile_check, compile_mask
 
 
 def _binding_of(aliases: tuple[str, ...], events: tuple[Event, ...]) -> dict[str, Event]:
@@ -178,6 +179,8 @@ class _Compiler:
             return self._compile_multiway(node)
         if isinstance(node, CountAggregate):
             return self._compile_aggregate(node)
+        if isinstance(node, KleeneIterate):
+            return self._compile_kleene(node)
         if isinstance(node, NseqPrepare):
             return self._compile_nseq_prepare(node)
         if isinstance(node, PostFilter):
@@ -212,6 +215,9 @@ class _Compiler:
         # engine's filter hot path picks it up (the per-event
         # reference path keeps the tree-walking evaluator).
         check.compiled = compile_check(filters)
+        # Column-mask form for the columnar engine; ``None`` when any
+        # conjunct falls outside the maskable (core-attribute) subset.
+        check.columnar = compile_mask(filters)
         return handle.filter(check, name=f"filter[{alias}]")
 
     def _compile_join(self, node: WindowJoin) -> StreamHandle:
@@ -325,6 +331,28 @@ class _Compiler:
             name=f"count>={minimum}",
         )
 
+    def _compile_kleene(self, node: KleeneIterate) -> StreamHandle:
+        source = self.compile(node.input)
+        window = WindowSpec(size=node.window_size, slide=node.window_slide)
+        key_fn = None
+        if node.key_attribute is not None:
+            attribute = node.key_attribute
+
+            def key_fn(item: Item, _attr: str = attribute) -> Any:
+                return item[_attr] if isinstance(item, Event) else item.events[0][_attr]
+
+        # emit_ts="min" matches the join chain's partial-match convention
+        # (ComplexEvent.ts = ts_b), keeping the exact operator
+        # frame-identical to the m-1 self-join mapping for bounded ITER.
+        return source.kleene_iterate(
+            window,
+            minimum=node.minimum,
+            unbounded=node.unbounded,
+            condition=node.condition,
+            key_fn=key_fn,
+            emit_ts="min",
+        )
+
     def _compile_nseq_prepare(self, node: NseqPrepare) -> StreamHandle:
         first = self._compile_scan(node.first)
         negated = self._compile_scan(node.negated)
@@ -405,6 +433,7 @@ class TranslatedQuery:
         restart_backoff_s: float = 0.0,
         batch_size: int = 1,
         fusion: bool = False,
+        columnar: bool = False,
     ) -> RunResult:
         if self.sink is None:
             self.attach_sink(CollectSink())
@@ -422,6 +451,7 @@ class TranslatedQuery:
             restart_backoff_s=restart_backoff_s,
             batch_size=batch_size,
             fusion=fusion,
+            columnar=columnar,
         )
         if self.analysis is not None:
             # Static analysis and runtime observability share one
@@ -506,7 +536,10 @@ def translate(
     (``profile_from`` names the prior run's metrics report feeding the
     ``profile`` model), and the remaining phases compile the plan to a
     dataflow. Optimized plans stay byte-identical in output to the
-    default plan unless ``allow_approximate`` opts into O2.
+    default plan unless ``allow_approximate`` opts into O2 — and any
+    plan that does carry the O2 count surfaces an RA304 lint warning
+    pointing at the exact columnar alternative
+    (``iteration_strategy="exact"``).
 
     Unless ``analyze=False``, the static plan verifier
     (:mod:`repro.analysis`) pre-flights the result — schema resolution,

@@ -62,6 +62,7 @@ def run_fcep(
     backend=None,
     batch_size: int = 1,
     fusion: bool = False,
+    columnar: bool = False,
 ) -> tuple[ThroughputMeasurement, Sink, RunResult]:
     """Run the pattern FlinkCEP-style: union all streams into one unary
     CEP operator (Section 5.1.2).
@@ -91,6 +92,7 @@ def run_fcep(
         backend=backend,
         batch_size=batch_size,
         fusion=fusion,
+        columnar=columnar,
     )
     measurement = ThroughputMeasurement.from_run(
         "FCEP", pattern.name, result, matches=sink.count
@@ -111,6 +113,7 @@ def run_fasp(
     fault_plan=None,
     batch_size: int = 1,
     fusion: bool = False,
+    columnar: bool = False,
     translate_kwargs: dict | None = None,
 ) -> tuple[ThroughputMeasurement, Sink, RunResult]:
     """Run the pattern through the CEP-to-ASP mapping.
@@ -137,6 +140,7 @@ def run_fasp(
         fault_plan=fault_plan,
         batch_size=batch_size,
         fusion=fusion,
+        columnar=columnar,
     )
     measurement = ThroughputMeasurement.from_run(
         options.label(), pattern.name, result, matches=sink.count

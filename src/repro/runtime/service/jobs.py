@@ -121,6 +121,8 @@ class ServiceConfig:
     #: Micro-batch size / fusion for the rounds (PR 5 engine).
     batch_size: int = 1
     fusion: bool = False
+    #: Default the rounds to the columnar struct-of-arrays engine.
+    columnar: bool = False
     #: Allowed event-time disorder of the ingestion stream (ms).
     max_out_of_orderness: int = 0
     #: Optimizer mode applied at submit ("off"/"static"/"profile").
@@ -396,6 +398,14 @@ def _parse_query_spec(spec: Any, index: int) -> tuple[str, Any, TranslationOptio
             kwargs["join_strategy"] = WindowStrategy.INTERVAL
         if overrides.get("o2"):
             kwargs["iteration_strategy"] = "aggregate"
+        if overrides.get("iter") is not None:
+            strategy = overrides["iter"]
+            if strategy not in ("join", "aggregate", "exact"):
+                raise ServiceError(
+                    "bad-query",
+                    f"options.iter must be join/aggregate/exact, got {strategy!r}",
+                )
+            kwargs["iteration_strategy"] = strategy
         if overrides.get("o3"):
             kwargs["partition_attribute"] = overrides["o3"]
         if overrides.get("multiway"):
@@ -598,7 +608,8 @@ class JobManager:
         scans), plus optional per-job overrides (``admission``,
         ``queue_limit``, ``round_events``, ``checkpoint_interval``,
         ``optimize``, ``fault_plan``, ``batch_size``, ``fusion``,
-        ``max_restarts``, ``backend``, ``shards``, ``round_slo_ms``).
+        ``columnar``, ``max_restarts``, ``backend``, ``shards``,
+        ``round_slo_ms``).
         """
         if self.draining:
             raise ServiceError("draining", "server is draining", status=503)
@@ -734,6 +745,7 @@ class JobManager:
             checkpoint_interval=checkpoint_interval,
             batch_size=int(request.get("batch_size", self.config.batch_size)),
             fusion=bool(request.get("fusion", self.config.fusion)),
+            columnar=bool(request.get("columnar", self.config.columnar)),
         )
         admission = request.get("admission", self.config.admission)
         if admission not in AdmissionPolicy:

@@ -404,6 +404,21 @@ class TestStateCodes:
             if d.code == "RA302"
         ]
 
+    def test_ra304_approximate_count_flags_exact_alternative(self):
+        pattern = parse_pattern("PATTERN ITER3(V v) WITHIN 10 MINUTES SLIDE 5 MINUTES")
+        plan = build_plan(pattern, TranslationOptions(iteration_strategy="aggregate"))
+        diags = plan_state_diagnostics(plan, pattern, "aggregate")
+        hits = [d for d in diags if d.code == "RA304"]
+        assert hits and not hits[0].is_error
+        assert "iteration_strategy='exact'" in hits[0].message
+        # The exact mapping itself is clean: no approximate output to flag.
+        exact = build_plan(pattern, TranslationOptions(iteration_strategy="exact"))
+        assert not [
+            d
+            for d in plan_state_diagnostics(exact, pattern, "exact")
+            if d.code == "RA304"
+        ]
+
     def test_ra303_many_concurrent_panes(self):
         pattern = parse_pattern(
             "PATTERN SEQ(Q a, V b) WITHIN 30 MINUTES SLIDE 1 MINUTE"

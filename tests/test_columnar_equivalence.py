@@ -1,0 +1,201 @@
+"""Columnar execution equivalence (PR 10).
+
+The struct-of-arrays path (``columnar=True``) is a pure execution-
+strategy change on top of the PR 5 batch protocol: vectorized predicate
+masks, the bisection interval-join probe and the run-encoded exact
+Kleene operator must emit the exact same match multiset as the
+per-event row reference for every catalog query, with identical
+``events_in``/``items_out``, and stay byte-identical under
+checkpoint/recovery crashes and sharded execution.
+"""
+
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.asp.runtime import FaultPlan, FaultSpec, ShardedBackend
+from repro.asp.runtime.fault.chaos import (
+    _fresh_query,
+    _streams_for,
+    canonical_match_bytes,
+)
+from repro.mapping.advisor import recommend_options
+from repro.patterns import CATALOG
+from repro.sea.parser import parse_pattern
+
+SCALE_EVENTS = 900
+SCALE_SENSORS = 3
+SEED = 11
+
+#: Columnar configurations exercised against the per-event reference:
+#: tiny odd batches (many row<->column boundary crossings), the
+#: production size, columnar alone (batch_size 1 still routes through
+#: the batched scheduler), and batches larger than the whole stream.
+COLUMNAR_CONFIGS = [(7, False), (256, True), (1, False), (1024, True)]
+
+
+def _catalog_runs(name):
+    pattern = CATALOG[name]()
+    options = recommend_options(pattern).options
+    streams = _streams_for(pattern, SCALE_EVENTS, SCALE_SENSORS, SEED)
+
+    def run(batch_size, fusion, columnar):
+        query = _fresh_query(pattern, streams, options)
+        result = query.execute(
+            batch_size=batch_size, fusion=fusion, columnar=columnar
+        )
+        return result, canonical_match_bytes(query.matches())
+
+    return run
+
+
+def test_catalog_columnar_matches_serial_reference():
+    failures = []
+    for name in sorted(CATALOG):
+        run = _catalog_runs(name)
+        ref, ref_bytes = run(1, False, False)
+        for batch_size, fusion in COLUMNAR_CONFIGS:
+            res, out_bytes = run(batch_size, fusion, True)
+            label = f"{name} bs={batch_size} fusion={fusion} columnar"
+            if out_bytes != ref_bytes:
+                failures.append(f"{label}: match bytes differ")
+            if res.events_in != ref.events_in:
+                failures.append(
+                    f"{label}: events_in {res.events_in} != {ref.events_in}"
+                )
+            if res.items_out != ref.items_out:
+                failures.append(
+                    f"{label}: items_out {res.items_out} != {ref.items_out}"
+                )
+            if res.failed:
+                failures.append(f"{label}: run failed: {res.failure}")
+    assert not failures, "\n".join(failures)
+
+
+def test_columnar_channel_totals_match_serial():
+    """Frame totals are drive-independent, columns included."""
+    run = _catalog_runs("pollution-any-particulate")
+    ref, _ = run(1, False, False)
+    columnar, _ = run(256, True, True)
+    ref_channels = ref.metadata["channels"]
+    col_channels = columnar.metadata["channels"]
+    assert col_channels["item_frames"] == ref_channels["item_frames"]
+    assert col_channels["watermark_frames"] == ref_channels["watermark_frames"]
+
+
+def test_chaos_recovery_byte_identical_under_columnar():
+    """Crashes cut at batch boundaries; columnar recovery replays exactly."""
+    pattern = CATALOG["traffic-congestion"]()
+    options = recommend_options(pattern).options
+    streams = _streams_for(pattern, 1500, SCALE_SENSORS, SEED)
+
+    clean = _fresh_query(pattern, streams, options)
+    clean.execute()
+    clean_bytes = canonical_match_bytes(clean.matches())
+
+    total = sum(len(evs) for evs in streams.values())
+    offsets = (max(150, total // 4), max(300, total // 2))
+    plan = FaultPlan(tuple(FaultSpec("crash", at_event=o) for o in offsets))
+    for batch_size, fusion in ((256, True), (7, False)):
+        query = _fresh_query(pattern, streams, options)
+        result = query.execute(
+            checkpoint_interval=100,
+            fault_plan=plan,
+            batch_size=batch_size,
+            fusion=fusion,
+            columnar=True,
+        )
+        assert not result.failed, result.failure
+        recovery = result.metrics["recovery"]
+        assert recovery["recovered"]
+        assert len(recovery["restarts"]) == len(offsets)
+        assert canonical_match_bytes(query.matches()) == clean_bytes
+
+
+def test_sharded_backend_runs_columnar_per_shard():
+    pattern = CATALOG["traffic-congestion"]()
+    keyed = recommend_options(pattern, partition_attribute="id").options
+    streams = _streams_for(pattern, SCALE_EVENTS, SCALE_SENSORS, SEED)
+
+    serial = _fresh_query(pattern, streams, keyed)
+    serial.execute()
+    serial_bytes = canonical_match_bytes(serial.matches())
+
+    query = _fresh_query(pattern, streams, keyed)
+    backend = ShardedBackend(shards=2, key_attribute="id", mode="inline")
+    result = query.execute(backend=backend, batch_size=256, columnar=True)
+    assert not result.failed, result.failure
+    assert canonical_match_bytes(query.matches()) == serial_bytes
+
+
+def test_columnar_state_accounting_matches_row():
+    """The bulk-ledger path (cached ``ColumnarBatch.size_bytes``) must
+    report the exact same peak state footprint as per-event accounting —
+    the RA803 budget check and the peak-state gauges stay truthful."""
+    run = _catalog_runs("traffic-congestion")
+    ref, _ = run(1, False, False)
+    columnar, _ = run(256, True, True)
+    assert columnar.peak_state_bytes == ref.peak_state_bytes
+    assert columnar.peak_state_bytes > 0
+
+
+def test_columnar_batch_size_bytes_exact_and_cached():
+    from repro.asp.datamodel import ColumnarBatch, Event
+
+    events = [
+        Event("V", ts=i * 1000, id=1 + i % 3, value=float(i)) for i in range(16)
+    ]
+    batch = ColumnarBatch.from_events(events)
+    assert batch.size_bytes == sum(e.size_bytes for e in events)
+    assert batch._size_bytes == batch.size_bytes  # computed once, then cached
+    # A masked view accounts only its selected rows.
+    view = batch.select([0, 5, 9])
+    assert view.size_bytes == sum(events[i].size_bytes for i in (0, 5, 9))
+
+
+@hsettings(max_examples=25, deadline=None)
+@given(
+    kind=st.sampled_from(["seq", "iter", "band"]),
+    # Integral thresholds only: the pattern grammar takes plain decimal
+    # literals, not scientific notation.
+    threshold=st.integers(min_value=0, max_value=150).map(float),
+    window_minutes=st.integers(min_value=2, max_value=30),
+    batch_size=st.sampled_from([1, 7, 64, 256]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_random_patterns_columnar_equals_row(
+    kind, threshold, window_minutes, batch_size, seed
+):
+    """Random patterns x columnar/row mixes: identical matches and
+    identical channel frame sequences against the per-event drive."""
+    if kind == "seq":
+        text = (
+            f"PATTERN SEQ(Q a, V b) WHERE a.value > {threshold} "
+            f"WITHIN {window_minutes} MINUTES"
+        )
+    elif kind == "iter":
+        text = (
+            f"PATTERN ITER2(V v) WHERE v.value < {threshold} "
+            f"WITHIN {window_minutes} MINUTES"
+        )
+    else:
+        # A band predicate compiles to a two-conjunct column mask.
+        text = (
+            f"PATTERN SEQ(Q a, V b) WHERE a.value > {threshold} "
+            f"AND b.value < {threshold} WITHIN {window_minutes} MINUTES"
+        )
+    pattern = parse_pattern(text, name="prop")
+    options = recommend_options(pattern).options
+    streams = _streams_for(pattern, 240, 2, seed)
+
+    ref = _fresh_query(pattern, streams, options)
+    ref_result = ref.execute()
+    col = _fresh_query(pattern, streams, options)
+    col_result = col.execute(batch_size=batch_size, columnar=True)
+
+    assert canonical_match_bytes(col.matches()) == canonical_match_bytes(
+        ref.matches()
+    )
+    assert col_result.events_in == ref_result.events_in
+    assert (
+        col_result.metadata["channels"]["item_frames"]
+        == ref_result.metadata["channels"]["item_frames"]
+    )

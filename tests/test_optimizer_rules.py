@@ -40,6 +40,7 @@ from repro.mapping.optimizer.rewrite import (
 )
 from repro.mapping.optimizer.rules import (
     DEFAULT_RULES,
+    AnnotateColumnarSegments,
     AnnotateFusionSegments,
     ChooseAggregateIteration,
     ChooseIntervalWindows,
@@ -229,6 +230,30 @@ class TestAnnotateFusionSegments:
     def test_declines_without_stateless_runs(self):
         plan = plan_for("PATTERN SEQ(Q a, V b) WITHIN 10 MINUTES")
         assert not AnnotateFusionSegments().apply(plan, ctx_for()).fired
+
+
+class TestAnnotateColumnarSegments:
+    def test_fires_on_mask_compilable_filters(self):
+        plan = plan_for(
+            "PATTERN SEQ(Q a, V b) WHERE a.value > 40 AND b.value < 10 "
+            "WITHIN 10 MINUTES"
+        )
+        decision = AnnotateColumnarSegments().apply(plan, ctx_for())
+        assert decision.fired
+        assert any("columnar segment" in note for note in decision.plan.notes)
+
+    def test_annotates_exact_kleene_run_enumeration(self):
+        plan = plan_for(
+            "PATTERN ITER3(V v) WHERE v.value < 10 WITHIN 10 MINUTES",
+            TranslationOptions(iteration_strategy="exact"),
+        )
+        decision = AnnotateColumnarSegments().apply(plan, ctx_for())
+        assert decision.fired
+        assert any("run enumeration" in note for note in decision.plan.notes)
+
+    def test_declines_on_unfiltered_scans(self):
+        plan = plan_for("PATTERN SEQ(Q a, V b) WITHIN 10 MINUTES")
+        assert not AnnotateColumnarSegments().apply(plan, ctx_for()).fired
 
 
 class TestRewriteEngine:

@@ -88,6 +88,13 @@ def check_batched_cells(summary: dict) -> list[str]:
             sibling_key = f"{pattern}|{approach.removesuffix('+batched')}|{parameter}"
             sibling = cells.get(sibling_key)
             if sibling is None:
+                columnar_key = (
+                    f"{pattern}|{approach.removesuffix('+batched')}+columnar|{parameter}"
+                )
+                if columnar_key in cells:
+                    # The pair belongs to the columnar gate: the batched
+                    # row is the reference there, not the subject here.
+                    continue
                 breaches.append(
                     f"{experiment}/{key}: no serial sibling cell {sibling_key}"
                 )
@@ -112,6 +119,75 @@ def check_batched_cells(summary: dict) -> list[str]:
                     f"{experiment}/{key}: batched engine {ratio:.2f}x the "
                     f"serial sibling (floor {floor:.2f}x) -- the batched "
                     "hot path lost its advantage"
+                )
+    return breaches
+
+
+#: Cells where the columnar engine must beat the row-batched engine by at
+#: least this factor at full scale (the ISSUE acceptance floor; measured
+#: headroom is ~3-3.7x). The headline cells are filter-dominated
+#: multi-conjunct operating points under the O1 interval join — the
+#: regime the vectorized masks and galloping probe target. Patterns not
+#: listed (the match-heavy catalog cells, where emission work shared by
+#: both modes dominates) only need parity.
+COLUMNAR_SPEEDUP_FLOORS = {
+    "SEQ1": 2.0,
+    "ITER3_1": 2.0,
+}
+COLUMNAR_PARITY_FLOOR = 0.7
+#: The speedup floors assume full-scale batches/windows; smoke runs
+#: (REPRO_BENCH_EVENTS below this) only check parity.
+COLUMNAR_FULL_SCALE_EVENTS = 20_000
+
+
+def check_columnar_cells(summary: dict) -> list[str]:
+    """Intra-summary rule: every ``X+columnar`` cell vs its ``X+batched``
+    sibling.
+
+    Same machine-independence argument as :func:`check_batched_cells`:
+    both cells of a pair come from the same run on the same box, so the
+    ratio is a pure data-path measurement (row predicate interpretation
+    vs vectorized masks) and gets a hard floor. Equal match counts are a
+    hard requirement — columnar execution is an engine mode, never a
+    semantics change.
+    """
+    breaches: list[str] = []
+    for experiment, payload in sorted(summary.get("experiments", {}).items()):
+        cells = payload.get("cells", {})
+        full_scale = payload.get("events", 0) >= COLUMNAR_FULL_SCALE_EVENTS
+        for key, cell in sorted(cells.items()):
+            pattern, approach, parameter = key.split("|")
+            if not approach.endswith("+columnar"):
+                continue
+            sibling_key = (
+                f"{pattern}|{approach.removesuffix('+columnar')}+batched|{parameter}"
+            )
+            sibling = cells.get(sibling_key)
+            if sibling is None:
+                breaches.append(
+                    f"{experiment}/{key}: no row-batched sibling cell {sibling_key}"
+                )
+                continue
+            if cell.get("matches") != sibling.get("matches"):
+                breaches.append(
+                    f"{experiment}/{key}: matches {cell.get('matches')} != "
+                    f"batched sibling {sibling.get('matches')} -- columnar "
+                    "execution changed the output (correctness regression)"
+                )
+                continue
+            batched_tps = sibling.get("throughput_tps") or 0.0
+            columnar_tps = cell.get("throughput_tps") or 0.0
+            if batched_tps <= 0 or columnar_tps <= 0:
+                continue
+            floor = COLUMNAR_PARITY_FLOOR
+            if full_scale:
+                floor = COLUMNAR_SPEEDUP_FLOORS.get(pattern, COLUMNAR_PARITY_FLOOR)
+            ratio = columnar_tps / batched_tps
+            if ratio < floor:
+                breaches.append(
+                    f"{experiment}/{key}: columnar engine {ratio:.2f}x the "
+                    f"row-batched sibling (floor {floor:.2f}x) -- the "
+                    "columnar hot path lost its advantage"
                 )
     return breaches
 
@@ -278,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
     skipped = 0
     breaches = (
         check_batched_cells(summary)
+        + check_columnar_cells(summary)
         + check_optimizer_cells(summary)
         + check_serve_cells(summary)
     )

@@ -6,9 +6,11 @@ ports, durable state dir, stdout/stderr captured to ``--log``), then
 drives it exactly like a tenant would:
 
 1. submit the catalog queries over the HTTP control API — as separate
-   jobs, or (``--group``) as one shared-scan tenant group; ``--sharded``
-   additionally submits an O3-partitioned inline pattern whose rounds
-   run on the sharded backend;
+   jobs, or (``--group``) as one shared-scan tenant group, plus one job
+   whose rounds run on the columnar struct-of-arrays engine
+   (``"columnar": true``); ``--sharded`` additionally submits an
+   O3-partitioned inline pattern whose rounds run on the sharded
+   backend;
 2. stream the merged QnV/air-quality workload over the TCP ingestion
    socket (per-source sequence numbers, watermark heartbeats every 500
    events). With ``--kill-after N`` the server is SIGKILLed after N
@@ -67,6 +69,12 @@ QUERIES = ("traffic-congestion", "street-lighting-demand")
 #: The --sharded job: an O3-partitioned pattern the RA40x proof accepts.
 SHARDED_NAME = "sharded-id"
 SHARDED_PATTERN = "PATTERN SEQ(Q a, V b) WHERE a.id = b.id WITHIN 10 MINUTES"
+#: Always-submitted columnar job: the same catalog query as one of the
+#: row jobs, but its rounds run on the struct-of-arrays engine — the
+#: byte-identity check against the row-serial batch reference then
+#: covers the columnar hot path end to end through the service.
+COLUMNAR_NAME = "tc-columnar"
+COLUMNAR_QUERY = "traffic-congestion"
 
 
 def build_streams(events: int, seed: int) -> dict[str, list]:
@@ -98,6 +106,8 @@ def batch_reference(query_name: str, streams: dict[str, list]) -> bytes:
         return _batch_bytes(
             pattern, TranslationOptions(partition_attribute="id"), streams
         )
+    if query_name == COLUMNAR_NAME:
+        query_name = COLUMNAR_QUERY  # row-serial reference for the columnar job
     pattern = CATALOG[query_name]()
     return _batch_bytes(pattern, recommend_options(pattern).options, streams)
 
@@ -205,6 +215,14 @@ def main(argv: list[str] | None = None) -> int:
                     info = client.submit({"name": query_name, "query": query_name})
                     jobs[query_name] = info["id"]
                     print(f"submitted {query_name} -> {info['id']}")
+            info = client.submit({
+                "name": COLUMNAR_NAME,
+                "query": {"catalog": COLUMNAR_QUERY, "name": COLUMNAR_NAME},
+                "batch_size": 256,
+                "columnar": True,
+            })
+            jobs[COLUMNAR_NAME] = info["id"]
+            print(f"submitted {COLUMNAR_NAME} -> {info['id']} (columnar rounds)")
             if args.sharded:
                 info = client.submit({
                     "name": SHARDED_NAME,
